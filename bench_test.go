@@ -1,0 +1,454 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each figure benchmark regenerates the corresponding series
+// at a reduced workload scale (the shapes, not the runtimes, are the
+// reproduction target — set -scale via experiments.Config for full-size
+// runs through cmd/damctl) and reports a representative W₂ as a custom
+// metric so regressions in estimation quality show up next to ns/op.
+//
+// Micro-benchmarks for the core operations (perturbation throughput,
+// channel construction, EM decoding, exact and approximate optimal
+// transport) follow the figure benches.
+package dpspatial_test
+
+import (
+	"testing"
+
+	"dpspatial"
+	"dpspatial/internal/em"
+	"dpspatial/internal/experiments"
+	"dpspatial/internal/lp"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/sam"
+	"dpspatial/internal/transport"
+)
+
+// benchConfig keeps figure benches in the seconds range; the series
+// shapes already emerge at this scale.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Scale:         0.002,
+		Repeats:       1,
+		Seed:          42,
+		MaxPoints:     2000,
+		LPCalibration: false, // calibration is benchmarked separately
+	}
+}
+
+func reportLastW2(b *testing.B, fig *experiments.Figure) {
+	b.Helper()
+	if len(fig.Series) == 0 {
+		b.Fatal("figure has no series")
+	}
+	last := fig.Series[len(fig.Series)-1]
+	if len(last.Y) == 0 {
+		b.Fatal("series has no points")
+	}
+	b.ReportMetric(last.Y[len(last.Y)-1], "W2")
+}
+
+// BenchmarkTable3Datasets regenerates Table III (dataset inventory).
+func BenchmarkTable3Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := s.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Settings regenerates Table IV (parameter grid).
+func BenchmarkTable4Settings(b *testing.B) {
+	s := experiments.NewSuite(benchConfig())
+	for i := 0; i < b.N; i++ {
+		if t := s.Table4(); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable5TrajectorySettings regenerates Table V.
+func BenchmarkTable5TrajectorySettings(b *testing.B) {
+	s := experiments.NewSuite(benchConfig())
+	for i := 0; i < b.N; i++ {
+		if t := s.Table5(); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig8RadiusSweep regenerates Figure 8 (W₂ vs radius b).
+func BenchmarkFig8RadiusSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		fig, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastW2(b, fig)
+	}
+}
+
+// BenchmarkFig9SmallD regenerates Figure 9(a–e): one panel per dataset,
+// all five mechanisms, exact LP Wasserstein.
+func BenchmarkFig9SmallD(b *testing.B) {
+	for _, dataset := range experiments.DatasetNames() {
+		b.Run(dataset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSuite(benchConfig())
+				fig, err := s.Fig9SmallD(dataset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLastW2(b, fig)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9LargeD regenerates Figure 9(f–j) (SEM-Geo-I vs DAM,
+// Sinkhorn). One representative dataset per run keeps the suite's total
+// time bounded; pass -bench 'Fig9LargeD' -benchtime 1x with a larger
+// scale for full panels.
+func BenchmarkFig9LargeD(b *testing.B) {
+	for _, dataset := range []string{"Crime", "SZipf"} {
+		b.Run(dataset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSuite(benchConfig())
+				fig, err := s.Fig9LargeD(dataset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLastW2(b, fig)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9SmallEps regenerates Figure 9(k–o).
+func BenchmarkFig9SmallEps(b *testing.B) {
+	for _, dataset := range []string{"NYC", "Normal"} {
+		b.Run(dataset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSuite(benchConfig())
+				fig, err := s.Fig9SmallEps(dataset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLastW2(b, fig)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9LargeEps regenerates Figure 9(p–t).
+func BenchmarkFig9LargeEps(b *testing.B) {
+	for _, dataset := range []string{"MNormal"} {
+		b.Run(dataset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSuite(benchConfig())
+				fig, err := s.Fig9LargeEps(dataset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLastW2(b, fig)
+			}
+		})
+	}
+}
+
+// BenchmarkFig13FullDomain regenerates the Appendix-C full-domain Crime
+// panels.
+func BenchmarkFig13FullDomain(b *testing.B) {
+	for _, panel := range []string{"a", "b", "c", "d"} {
+		b.Run(panel, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSuite(benchConfig())
+				fig, err := s.Fig13(panel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLastW2(b, fig)
+			}
+		})
+	}
+}
+
+// BenchmarkFig14TrajectoryD regenerates Figure 14(a).
+func BenchmarkFig14TrajectoryD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		fig, err := s.Fig14a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastW2(b, fig)
+	}
+}
+
+// BenchmarkFig14TrajectoryEps regenerates Figure 14(b).
+func BenchmarkFig14TrajectoryEps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		fig, err := s.Fig14b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastW2(b, fig)
+	}
+}
+
+// --- Micro-benchmarks for the core operations ---
+
+func benchDomain(b *testing.B, d int) dpspatial.Domain {
+	b.Helper()
+	dom, err := dpspatial.NewDomain(0, 0, float64(d), d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dom
+}
+
+// BenchmarkDAMChannelBuild measures DAM construction (footprint +
+// channel) at the paper's default d=15, eps=3.5.
+func BenchmarkDAMChannelBuild(b *testing.B) {
+	dom := benchDomain(b, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sam.NewDAM(dom, 3.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDAMPerturb measures single-report randomisation throughput
+// via alias samplers (the per-user cost of GridAreaResponse).
+func BenchmarkDAMPerturb(b *testing.B) {
+	dom := benchDomain(b, 15)
+	m, err := sam.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samplers, err := m.Samplers()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samplers[i%len(samplers)].Draw(r)
+	}
+}
+
+// BenchmarkEMEstimate measures the PostProcess (EM) step on DAM's channel
+// at d=15.
+func BenchmarkEMEstimate(b *testing.B) {
+	dom := benchDomain(b, 15)
+	m, err := sam.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	counts := make([]float64, m.NumOutputs())
+	for i := range counts {
+		counts[i] = float64(r.Intn(100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Estimate(m.Channel(), counts, &em.Options{MaxIter: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkW2Exact measures the transportation-LP Wasserstein on a 10×10
+// grid (Equation 17).
+func BenchmarkW2Exact(b *testing.B) {
+	dom := benchDomain(b, 10)
+	r := rng.New(3)
+	a := dpspatial.HistFromPoints(dom, nil)
+	c := dpspatial.HistFromPoints(dom, nil)
+	for i := range a.Mass {
+		a.Mass[i] = r.Float64()
+		c.Mass[i] = r.Float64()
+	}
+	a.Normalize()
+	c.Normalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.W2Exact(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkW2Sinkhorn measures the entropy-regularised solver at the
+// paper's large-d setting (15×15).
+func BenchmarkW2Sinkhorn(b *testing.B) {
+	dom := benchDomain(b, 15)
+	r := rng.New(4)
+	a := dpspatial.HistFromPoints(dom, nil)
+	c := dpspatial.HistFromPoints(dom, nil)
+	for i := range a.Mass {
+		a.Mass[i] = r.Float64()
+		c.Mass[i] = r.Float64()
+	}
+	a.Normalize()
+	c.Normalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.W2Sinkhorn(a, c, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlicedWasserstein measures the Radon-projection sliced
+// distance of Section V.
+func BenchmarkSlicedWasserstein(b *testing.B) {
+	dom := benchDomain(b, 15)
+	r := rng.New(5)
+	a := dpspatial.HistFromPoints(dom, nil)
+	c := dpspatial.HistFromPoints(dom, nil)
+	for i := range a.Mass {
+		a.Mass[i] = r.Float64()
+		c.Mass[i] = r.Float64()
+	}
+	a.Normalize()
+	c.Normalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.SlicedW(a, c, 2, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportSimplex measures the raw LP solver on a dense random
+// 50×50 instance.
+func BenchmarkTransportSimplex(b *testing.B) {
+	const n = 50
+	r := rng.New(6)
+	supply := make([]float64, n)
+	demand := make([]float64, n)
+	var st, dt float64
+	for i := 0; i < n; i++ {
+		supply[i] = r.Float64() + 0.01
+		demand[i] = r.Float64() + 0.01
+		st += supply[i]
+		dt += demand[i]
+	}
+	for i := range demand {
+		demand[i] *= st / dt
+	}
+	cost := make([]float64, n*n)
+	for i := range cost {
+		cost[i] = r.Float64() * 10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(supply, demand, func(i, j int) float64 { return cost[i*n+j] }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatePipeline measures the end-to-end public API on 20k
+// users.
+func BenchmarkEstimatePipeline(b *testing.B) {
+	r := rng.New(7)
+	pts := make([]dpspatial.Point, 20000)
+	for i := range pts {
+		pts[i] = dpspatial.Point{X: r.NormFloat64(), Y: r.NormFloat64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpspatial.Estimate(pts, 10, 3.5, dpspatial.WithSeed(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (the DESIGN.md design-choice studies) ---
+
+// BenchmarkAblationShrinkage quantifies the border-shrinkage gain
+// (DAM vs DAM-NS) across all datasets.
+func BenchmarkAblationShrinkage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := s.AblationShrinkage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPostprocess compares EM against EMS decoding.
+func BenchmarkAblationPostprocess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := s.AblationPostprocess("SZipf"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBaselines runs the widened Table I design-space
+// comparison (CFO, MDSW, AHEAD, PlanarLaplace, DAM).
+func BenchmarkAblationBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := s.AblationBaselines("Normal", 8, 3.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeQueryExperiment measures the Section II composition
+// claim: range-query MSE through DAM, AHEAD and CFO estimates.
+func BenchmarkRangeQueryExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := s.RangeQueryExperiment("SZipf", 8, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectParallel measures the fan-out collection path on 100k
+// users at d=15.
+func BenchmarkCollectParallel(b *testing.B) {
+	dom := benchDomain(b, 15)
+	m, err := sam.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := make([]float64, m.NumInputs())
+	r := rng.New(8)
+	for i := 0; i < 100000; i++ {
+		truth[r.Intn(len(truth))]++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CollectParallel(truth, uint64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalPrivacyCalibration measures the LDP↔Geo-I budget
+// calibration of Section VII-B at d=10.
+func BenchmarkLocalPrivacyCalibration(b *testing.B) {
+	dom := benchDomain(b, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := dpspatial.CalibrateSEMGeoI(dom, 3.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

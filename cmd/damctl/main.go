@@ -1,0 +1,88 @@
+// Command damctl drives the paper-reproduction harness: it regenerates
+// every table and figure of the evaluation, generates datasets, and runs
+// the estimation pipeline on CSV point data.
+//
+// Usage:
+//
+//	damctl fig    --fig 8|9a..9t|13a..13d|14a|14b [--scale 0.05] [--repeats 2]
+//	damctl tables --table 3|4|5
+//	damctl shapes                 # audit key figures against the paper's claims
+//	damctl gen    --dataset Crime --out points.csv [--scale 0.05]
+//	damctl estimate --in points.csv --d 15 --eps 3.5 [--mech DAM]
+//	damctl demo                   # before/after ASCII density maps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fig":
+		err = cmdFig(os.Args[2:])
+	case "tables":
+		err = cmdTables(os.Args[2:])
+	case "shapes":
+		err = cmdShapes(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "ablate":
+		err = cmdAblate(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "damctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "damctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `damctl — Disk Area Mechanism reproduction harness
+
+Commands:
+  fig       regenerate a paper figure (--fig 8, 9a..9t, 13a..13d, 14a, 14b)
+  tables    print a paper table (--table 3, 4 or 5)
+  shapes    audit key figures against the paper's qualitative claims
+  gen       generate a dataset to CSV (--dataset Crime|NYC|Normal|SZipf|MNormal)
+  estimate  run the DP pipeline on CSV points (--in file --d 15 --eps 3.5)
+  ablate    ablation studies (--what shrink|post|baselines|rangequery)
+  demo      ASCII before/after density maps on synthetic data
+
+Shared harness flags: --scale (dataset size multiplier, default 0.05),
+--repeats (averaging runs, default 2), --seed, --max-points, --no-lp-cal`)
+}
+
+// harnessFlags registers the shared experiment configuration flags.
+func harnessFlags(fs *flag.FlagSet) *harnessConfig {
+	hc := &harnessConfig{}
+	fs.Float64Var(&hc.scale, "scale", 0.05, "dataset size multiplier (1.0 = paper scale)")
+	fs.IntVar(&hc.repeats, "repeats", 2, "repetitions to average (paper: 10)")
+	fs.Uint64Var(&hc.seed, "seed", 2025, "random seed")
+	fs.IntVar(&hc.maxPoints, "max-points", 40000, "cap on users per dataset part (0 = all)")
+	fs.BoolVar(&hc.noLPCal, "no-lp-cal", false, "disable Local-Privacy calibration of SEM-Geo-I")
+	return hc
+}
+
+type harnessConfig struct {
+	scale     float64
+	repeats   int
+	seed      uint64
+	maxPoints int
+	noLPCal   bool
+}

@@ -1,0 +1,76 @@
+// Crimemap: the paper's motivating scenario (Example 1) — estimate a
+// city's shooting/crime density from locally randomised incident
+// locations, then find the hot spots.
+//
+// The police hold incident locations they cannot release. Each incident
+// is reported through DAM under ε-LDP; the analyst recovers the density
+// per extraction part (the paper's A/B/C squares) and ranks hot-spot
+// cells. Because DAM preserves the spatial ordinal relationship, nearby
+// cells absorb each other's noise instead of scattering it city-wide.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dpspatial"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/synth"
+)
+
+func main() {
+	const (
+		d   = 15
+		eps = 3.5
+	)
+	// Offline stand-in for the Chicago Crime 2022 extract (see DESIGN.md).
+	ds, err := synth.ChicagoCrimeLike(rng.New(2022), 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, part := range ds.Parts {
+		pts := make([]dpspatial.Point, 0)
+		for _, p := range ds.Extract(part) {
+			pts = append(pts, dpspatial.Point{X: p.X, Y: p.Y})
+		}
+		dom, err := dpspatial.DomainOver(pts, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := dpspatial.HistFromPoints(dom, pts)
+		mech, err := dpspatial.NewDAM(dom, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := mech.EstimateHist(truth, dpspatial.NewRand(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		w2, err := dpspatial.Wasserstein2Sinkhorn(truth.Clone().Normalize(), est)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("== Part %s: %d incidents, %d×%d grid, eps=%.1f ==\n",
+			part.Name, len(pts), d, d, eps)
+		fmt.Printf("W2(true, private estimate) = %.4f cell units\n", w2)
+		fmt.Println("Top 5 private hot-spot cells (probability):")
+		type hot struct {
+			cell dpspatial.Cell
+			p    float64
+		}
+		hots := make([]hot, 0, len(est.Mass))
+		for i, m := range est.Mass {
+			hots = append(hots, hot{cell: est.Dom.CellAt(i), p: m})
+		}
+		sort.Slice(hots, func(i, j int) bool { return hots[i].p > hots[j].p })
+		for _, h := range hots[:5] {
+			truthRank := truth.At(h.cell) / truth.Total()
+			fmt.Printf("  cell (%2d,%2d): est %.4f (true %.4f)\n",
+				h.cell.X, h.cell.Y, h.p, truthRank)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: estimate a spatial distribution under ε-LDP in three calls.
+//
+// A service has user locations it is not allowed to collect in the clear.
+// Each (simulated) user randomises their own grid cell with the Disk Area
+// Mechanism; the analyst recovers the density map from the noisy reports
+// and never sees a raw location.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpspatial"
+)
+
+func main() {
+	// Simulated sensitive data: 40k users around two hot spots.
+	r := dpspatial.NewRand(11)
+	points := make([]dpspatial.Point, 0, 40000)
+	for i := 0; i < 30000; i++ {
+		points = append(points, dpspatial.Point{
+			X: 2 + 0.5*r.NormFloat64(),
+			Y: 2 + 0.5*r.NormFloat64(),
+		})
+	}
+	for i := 0; i < 10000; i++ {
+		points = append(points, dpspatial.Point{
+			X: 7 + 0.3*r.NormFloat64(),
+			Y: 6 + 0.3*r.NormFloat64(),
+		})
+	}
+
+	// One call: fit a 12×12 grid, perturb every user's cell under 2.1-LDP
+	// with DAM, and EM-decode the noisy counts.
+	est, err := dpspatial.Estimate(points, 12, 2.1, dpspatial.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Privately estimated density (darker = more users):")
+	fmt.Print(est.Render())
+
+	// How close did we get? Compare against the (non-private) truth.
+	dom := est.Dom
+	truth := dpspatial.HistFromPoints(dom, points).Normalize()
+	w2, err := dpspatial.Wasserstein2Sinkhorn(truth, est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nW2 distance to the true distribution: %.4f cell units\n", w2)
+	fmt.Println("(each user's report satisfied 2.1-LDP; the analyst never saw a raw location)")
+}

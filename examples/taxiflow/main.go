@@ -1,0 +1,80 @@
+// Taxiflow: private demand estimation for a ride-hailing service (the
+// paper's introduction scenario), comparing the mechanisms head to head.
+//
+// Drivers' pickup locations are sensitive. Each pickup is randomised on
+// device; the platform estimates the demand distribution to position
+// supply. The example runs DAM, HUEM, DAM-NS and MDSW over the same noisy
+// setting and reports their Wasserstein errors — the smaller, the better
+// the dispatch decisions downstream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpspatial"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/synth"
+)
+
+func main() {
+	const (
+		d   = 12
+		eps = 2.1
+	)
+	ds, err := synth.NYCGreenTaxiLike(rng.New(2016), 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Use the dense part B (the paper's NYC part with 42k pickups).
+	pts := make([]dpspatial.Point, 0)
+	for _, p := range ds.Extract(ds.Parts[1]) {
+		pts = append(pts, dpspatial.Point{X: p.X, Y: p.Y})
+	}
+	dom, err := dpspatial.DomainOver(pts, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := dpspatial.HistFromPoints(dom, pts)
+	normTruth := truth.Clone().Normalize()
+
+	fmt.Printf("Private taxi-demand estimation: %d pickups, %d×%d grid, eps=%.1f\n\n",
+		len(pts), d, d, eps)
+	fmt.Println("True demand:")
+	fmt.Print(normTruth.Render())
+
+	type build func() (dpspatial.Mechanism, error)
+	mechanisms := []struct {
+		name  string
+		build build
+	}{
+		{"DAM", func() (dpspatial.Mechanism, error) { return dpspatial.NewDAM(dom, eps) }},
+		{"DAM-NS", func() (dpspatial.Mechanism, error) { return dpspatial.NewDAMNS(dom, eps) }},
+		{"HUEM", func() (dpspatial.Mechanism, error) { return dpspatial.NewHUEM(dom, eps) }},
+		{"MDSW", func() (dpspatial.Mechanism, error) { return dpspatial.NewMDSW(dom, eps) }},
+	}
+	fmt.Printf("\n%-8s %10s\n", "method", "W2 error")
+	for _, m := range mechanisms {
+		mech, err := m.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Average a few collection rounds: LDP noise dominates at this n.
+		const rounds = 3
+		total := 0.0
+		for round := uint64(0); round < rounds; round++ {
+			est, err := mech.EstimateHist(truth, dpspatial.NewRand(100+round))
+			if err != nil {
+				log.Fatal(err)
+			}
+			w2, err := dpspatial.Wasserstein2Sinkhorn(normTruth, est)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += w2
+		}
+		fmt.Printf("%-8s %10.4f\n", m.name, total/rounds)
+	}
+	fmt.Println("\nLower is better: DAM's disk reporting keeps demand mass near its true")
+	fmt.Println("location, so dispatch decisions based on the private map stay sound.")
+}

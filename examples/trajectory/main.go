@@ -1,0 +1,92 @@
+// Trajectory: the Appendix-D comparison — recover the spatial point
+// distribution of a fleet's trajectories under LDP, with the trajectory-
+// specific baselines (LDPTrace, PivotTrace) against plain DAM over points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpspatial"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/synth"
+	"dpspatial/internal/trajectory"
+)
+
+func main() {
+	const (
+		d   = 15
+		eps = 1.5
+	)
+	// City-like pickup points seed the mobility workload.
+	pts, err := synth.City(rng.New(99), synth.CityConfig{
+		N: 30000, Streets: 12, Hotspots: 6, StreetFrac: 0.75, Jitter: 0.004, HotSigma: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trajs, err := trajectory.Generate(pts, trajectory.WorkloadConfig{
+		GridD: 120, NumTraj: 1000, MinLen: 2, MaxLen: 200,
+	}, rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, tr := range trajs {
+		total += len(tr)
+	}
+	fmt.Printf("Workload: %d trajectories, %d points total\n\n", len(trajs), total)
+
+	dom, err := grid.SquareDomain(pts, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := trajectory.PointHist(dom, trajs).Normalize()
+
+	// LDPTrace: synthesise trajectories from an LDP mobility model.
+	lt, err := trajectory.NewLDPTrace(dom, eps, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	synthTrajs, err := lt.Synthesize(trajs, rng.New(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("LDPTrace", truth, trajectory.PointHist(dom, synthTrajs).Normalize())
+
+	// PivotTrace: perturb pivots, reconstruct by interpolation.
+	pt, err := trajectory.NewPivotTrace(dom, eps, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recTrajs, err := pt.Reconstruct(trajs, rng.New(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("PivotTrace", truth, trajectory.PointHist(dom, recTrajs).Normalize())
+
+	// DAM: treat every trajectory point as an independent LDP report.
+	mech, err := dpspatial.NewDAM(dom, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := trajectory.PointHist(dom, trajs)
+	est, err := mech.EstimateHist(counts, dpspatial.NewRand(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("DAM", truth, est)
+
+	fmt.Println("\nDAM spends the whole budget on location, while the trajectory")
+	fmt.Println("baselines split it across direction/length/pivots — which is why")
+	fmt.Println("DAM recovers the point distribution best (Figure 14).")
+}
+
+func report(name string, truth, est *grid.Hist2D) {
+	w2, err := dpspatial.Wasserstein2Sinkhorn(truth, est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-11s W2 = %.4f\n", name, w2)
+}

@@ -1,0 +1,131 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+func TestAdaptiveGridGranularityGrowsWithUsersAndBudget(t *testing.T) {
+	a, err := NewAdaptiveGrid(testDomain(t, 20), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1, g2 := a.Granularity(100), a.Granularity(1e6); g2 <= g1 {
+		t.Fatalf("granularity did not grow with users: %d vs %d", g1, g2)
+	}
+	loose, err := NewAdaptiveGrid(testDomain(t, 20), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := NewAdaptiveGrid(testDomain(t, 20), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Granularity(1e5) <= loose.Granularity(1e5) {
+		t.Fatalf("granularity did not grow with budget: %d vs %d",
+			loose.Granularity(1e5), tight.Granularity(1e5))
+	}
+	if a.Granularity(0) != 1 {
+		t.Fatal("zero users should give granularity 1")
+	}
+	if g := a.Granularity(1e12); g > 20 {
+		t.Fatalf("granularity %d exceeds target resolution", g)
+	}
+}
+
+func TestAdaptiveGridEstimateIsDistribution(t *testing.T) {
+	dom := testDomain(t, 8)
+	a, err := NewAdaptiveGrid(dom, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 1, Y: 1}, 5000)
+	truth.Set(geom.Cell{X: 6, Y: 6}, 5000)
+	est, err := a.EstimateHist(truth, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Total()-1) > 1e-9 {
+		t.Fatalf("estimate total %v", est.Total())
+	}
+	for _, m := range est.Mass {
+		if m < 0 {
+			t.Fatal("negative probability")
+		}
+	}
+}
+
+func TestAdaptiveGridRecoversCoarseStructure(t *testing.T) {
+	dom := testDomain(t, 8)
+	a, err := NewAdaptiveGrid(dom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	// All mass in the lower-left quadrant.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			truth.Set(geom.Cell{X: x, Y: y}, 2000)
+		}
+	}
+	est, err := a.EstimateHist(truth, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quadMass := 0.0
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			quadMass += est.At(geom.Cell{X: x, Y: y})
+		}
+	}
+	if quadMass < 0.7 {
+		t.Fatalf("lower-left quadrant mass %v, want > 0.7", quadMass)
+	}
+}
+
+func TestAdaptiveGridFewUsersFallsBackToUniform(t *testing.T) {
+	dom := testDomain(t, 10)
+	a, err := NewAdaptiveGrid(dom, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 5, Y: 5}, 3)
+	est, err := a.EstimateHist(truth, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 3 users at eps=0.1, granularity must collapse to 1 and the
+	// estimate must be uniform.
+	if a.gSide != 1 {
+		t.Fatalf("granularity %d for 3 users at eps=0.1", a.gSide)
+	}
+	for _, m := range est.Mass {
+		if math.Abs(m-0.01) > 1e-9 {
+			t.Fatalf("non-uniform fallback: %v", m)
+		}
+	}
+}
+
+func TestAdaptiveGridErrors(t *testing.T) {
+	if _, err := NewAdaptiveGrid(testDomain(t, 4), 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	a, err := NewAdaptiveGrid(testDomain(t, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := grid.NewHist(testDomain(t, 5))
+	if _, err := a.EstimateHist(other, rng.New(1)); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+	empty := grid.NewHist(testDomain(t, 4))
+	if _, err := a.EstimateHist(empty, rng.New(1)); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Package baselines implements the remaining comparison mechanisms of the
+// paper's Table I that are not first-class contenders in the headline
+// figures but anchor the design space:
+//
+//   - Bucket+CFO: the categorical frequency oracle applied to grid cells
+//     (Wang et al. 2017) — the "spatial data as unrelated symbols"
+//     strawman of Example 1;
+//   - the planar Laplace mechanism of Geo-Indistinguishability (Andrés et
+//     al., CCS 2013) — the continuous Geo-I reporter SEM-Geo-I refines.
+//
+// Both expose the same Estimator contract as the core mechanisms so the
+// harness can ablate against them.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/em"
+	"dpspatial/internal/fo"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+// CFO is the Bucket+CFO baseline: generalized randomized response over
+// the d² grid cells with EM decoding. It satisfies ε-LDP but ignores all
+// spatial structure — a reported far-away cell is exactly as likely as a
+// neighbouring one, the failure mode the paper's Example 1 illustrates.
+type CFO struct {
+	dom grid.Domain
+	grr *fo.GRR
+}
+
+// NewCFO builds the categorical baseline.
+func NewCFO(dom grid.Domain, eps float64) (*CFO, error) {
+	n := dom.NumCells()
+	if n < 2 {
+		return nil, fmt.Errorf("baselines: CFO needs at least 2 cells")
+	}
+	grr, err := fo.NewGRR(n, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &CFO{dom: dom, grr: grr}, nil
+}
+
+// Name returns the mechanism's display name.
+func (c *CFO) Name() string { return "CFO" }
+
+// Epsilon returns the budget.
+func (c *CFO) Epsilon() float64 { return c.grr.Epsilon() }
+
+// Channel exposes the GRR channel over cells.
+func (c *CFO) Channel() *fo.Channel { return c.grr.Channel() }
+
+// Perturb randomises one cell index.
+func (c *CFO) Perturb(input int, r *rng.RNG) int { return c.grr.Perturb(input, r) }
+
+// EstimateHist runs the full pipeline on a true count histogram.
+func (c *CFO) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != c.dom.D {
+		return nil, fmt.Errorf("baselines: histogram d=%d, mechanism d=%d", truth.Dom.D, c.dom.D)
+	}
+	counts := make([]float64, c.dom.NumCells())
+	for i, n := range truth.Mass {
+		if n < 0 || n != math.Trunc(n) {
+			return nil, fmt.Errorf("baselines: invalid count %v at cell %d", n, i)
+		}
+		for k := 0; k < int(n); k++ {
+			counts[c.grr.Perturb(i, r)]++
+		}
+	}
+	est, err := em.Estimate(c.grr.Channel(), counts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return grid.HistFromMass(c.dom, est)
+}

@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/em"
+	"dpspatial/internal/fo"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+// PlanarLaplace is the Geo-Indistinguishability mechanism of Andrés et
+// al. (CCS 2013): a true location is perturbed by 2-D noise with density
+// proportional to exp(−ε·r), which satisfies ε-Geo-I (per cell unit of
+// distance here). The continuous report is re-bucketised onto the grid
+// and decoded with EM against the cell-to-cell channel.
+//
+// The channel entry Pr[cell j | cell i] is the planar Laplace density at
+// the destination cell centre times the unit cell area, renormalised —
+// the standard midpoint discretisation, accurate to O(g²) and exact in
+// the limit of fine grids.
+type PlanarLaplace struct {
+	dom     grid.Domain
+	epsGeo  float64
+	channel *fo.Channel
+	norms   []float64 // per-row pre-normalisation mass Z_i
+}
+
+// NewPlanarLaplace builds the mechanism with per-cell-unit budget
+// epsGeo > 0.
+func NewPlanarLaplace(dom grid.Domain, epsGeo float64) (*PlanarLaplace, error) {
+	if epsGeo <= 0 || math.IsNaN(epsGeo) || math.IsInf(epsGeo, 0) {
+		return nil, fmt.Errorf("baselines: invalid epsilon %v", epsGeo)
+	}
+	p := &PlanarLaplace{dom: dom, epsGeo: epsGeo}
+	p.buildChannel()
+	if err := p.channel.Validate(); err != nil {
+		return nil, fmt.Errorf("baselines: internal channel invalid: %w", err)
+	}
+	return p, nil
+}
+
+func (p *PlanarLaplace) buildChannel() {
+	n := p.dom.NumCells()
+	ch := fo.NewChannel(n, n)
+	p.norms = make([]float64, n)
+	for i := 0; i < n; i++ {
+		ci := p.dom.CellAt(i)
+		row := ch.Row(i)
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			w := math.Exp(-p.epsGeo * ci.CenterDist(p.dom.CellAt(j)))
+			row[j] = w
+			sum += w
+		}
+		p.norms[i] = sum
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	p.channel = ch
+}
+
+// Name returns the mechanism's display name.
+func (p *PlanarLaplace) Name() string { return "PlanarLaplace" }
+
+// EpsilonGeo returns the per-cell-unit Geo-I budget.
+func (p *PlanarLaplace) EpsilonGeo() float64 { return p.epsGeo }
+
+// Channel exposes the discretised cell channel.
+func (p *PlanarLaplace) Channel() *fo.Channel { return p.channel }
+
+// Perturb randomises one cell index through the discretised channel.
+func (p *PlanarLaplace) Perturb(input int, r *rng.RNG) int {
+	return rng.WeightedChoice(r, p.channel.Row(input))
+}
+
+// SampleContinuous draws a continuous planar-Laplace perturbation of a
+// point, in cell units: the angle is uniform and the radius follows the
+// Gamma(2, 1/ε) law of the polar decomposition (inverse CDF via Lambert-W
+// style bisection on 1−(1+εr)e^{−εr}).
+func (p *PlanarLaplace) SampleContinuous(x, y float64, r *rng.RNG) (float64, float64) {
+	theta := 2 * math.Pi * r.Float64()
+	u := r.Float64()
+	rad := inverseGammaCDF(u, p.epsGeo)
+	return x + rad*math.Cos(theta), y + rad*math.Sin(theta)
+}
+
+// inverseGammaCDF solves 1 − (1+εr)·e^{−εr} = u for r by bisection.
+func inverseGammaCDF(u, eps float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		u = 1 - 1e-12
+	}
+	cdf := func(r float64) float64 { return 1 - (1+eps*r)*math.Exp(-eps*r) }
+	lo, hi := 0.0, 1.0
+	for cdf(hi) < u {
+		hi *= 2
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// EstimateHist runs the full pipeline on a true count histogram.
+func (p *PlanarLaplace) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != p.dom.D {
+		return nil, fmt.Errorf("baselines: histogram d=%d, mechanism d=%d", truth.Dom.D, p.dom.D)
+	}
+	samplers, err := p.channel.Samplers()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, p.dom.NumCells())
+	for i, n := range truth.Mass {
+		if n < 0 || n != math.Trunc(n) {
+			return nil, fmt.Errorf("baselines: invalid count %v at cell %d", n, i)
+		}
+		for k := 0; k < int(n); k++ {
+			counts[samplers[i].Draw(r)]++
+		}
+	}
+	est, err := em.Estimate(p.channel, counts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return grid.HistFromMass(p.dom, est)
+}
+
+// GeoIRatioHolds verifies the discretised channel's Geo-I guarantee
+// within tol. The grid restriction renormalises each row by Z_i, so the
+// exact bound on Pr[j|i1]/Pr[j|i2] is e^{ε·d(i1,i2)} · Z_{i2}/Z_{i1}
+// (triangle inequality on the density, normaliser ratio folded in); the
+// normaliser ratio itself is at most e^{ε·d(i1,i2)}, so the mechanism
+// satisfies 2ε-Geo-I in the worst case and ε-Geo-I up to border effects —
+// exactly the truncation caveat Andrés et al. note.
+func (p *PlanarLaplace) GeoIRatioHolds(tol float64) bool {
+	n := p.dom.NumCells()
+	for i1 := 0; i1 < n; i1++ {
+		for i2 := i1 + 1; i2 < n; i2++ {
+			normRatio := math.Max(p.norms[i1]/p.norms[i2], p.norms[i2]/p.norms[i1])
+			bound := math.Exp(p.epsGeo*p.dom.CellAt(i1).CenterDist(p.dom.CellAt(i2))) * normRatio
+			for j := 0; j < n; j++ {
+				q1, q2 := p.channel.At(i1, j), p.channel.At(i2, j)
+				if q1 == 0 || q2 == 0 {
+					return false
+				}
+				ratio := q1 / q2
+				if ratio < 1 {
+					ratio = 1 / ratio
+				}
+				if ratio > bound*(1+tol) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+// Package em implements the PostProcess step of Algorithm 1: maximum-
+// likelihood estimation of the input distribution from aggregated noisy
+// reports via Expectation–Maximisation, plus the EM-with-Smoothing (EMS)
+// variant of Li et al. (SIGMOD 2020) that regularises the estimate between
+// iterations — in 1-D for the Square Wave baseline and in 2-D for the
+// spatial mechanisms.
+package em
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/fo"
+)
+
+// Options controls the EM iteration.
+type Options struct {
+	// MaxIter caps the number of EM iterations (default 1000).
+	MaxIter int
+	// Tol stops iteration when the L1 change between successive estimates
+	// falls below it (default 1e-9).
+	Tol float64
+	// Smoothing, if non-nil, is applied to the estimate after every EM
+	// step (the "S" in EMS). It must preserve total mass.
+	Smoothing func(p []float64)
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxIter: 1000, Tol: 1e-9}
+	if o != nil {
+		if o.MaxIter > 0 {
+			out.MaxIter = o.MaxIter
+		}
+		if o.Tol > 0 {
+			out.Tol = o.Tol
+		}
+		out.Smoothing = o.Smoothing
+	}
+	return out
+}
+
+// Estimate runs EM on the observed output counts under the given channel
+// and returns the maximum-likelihood input distribution (normalised).
+//
+// Update rule: p'_i ∝ p_i · Σ_j c_j · M_ij / (Σ_k p_k · M_kj).
+func Estimate(ch *fo.Channel, counts []float64, opts *Options) ([]float64, error) {
+	if len(counts) != ch.Out {
+		return nil, fmt.Errorf("em: %d counts for channel with %d outputs", len(counts), ch.Out)
+	}
+	total := 0.0
+	for j, c := range counts {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("em: invalid count %v at %d", c, j)
+		}
+		total += c
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("em: no reports")
+	}
+	o := opts.withDefaults()
+
+	p := make([]float64, ch.In)
+	uniform := 1 / float64(ch.In)
+	for i := range p {
+		p[i] = uniform
+	}
+	next := make([]float64, ch.In)
+	outMix := make([]float64, ch.Out)
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		// E step: predicted output mixture under the current estimate.
+		for j := range outMix {
+			outMix[j] = 0
+		}
+		for i := 0; i < ch.In; i++ {
+			pi := p[i]
+			if pi == 0 {
+				continue
+			}
+			row := ch.Row(i)
+			for j, m := range row {
+				outMix[j] += pi * m
+			}
+		}
+		// M step.
+		for i := 0; i < ch.In; i++ {
+			row := ch.Row(i)
+			acc := 0.0
+			for j, m := range row {
+				if counts[j] == 0 || m == 0 {
+					continue
+				}
+				if outMix[j] > 0 {
+					acc += counts[j] * m / outMix[j]
+				}
+			}
+			next[i] = p[i] * acc / total
+		}
+		normalize(next)
+		if o.Smoothing != nil {
+			o.Smoothing(next)
+			normalize(next)
+		}
+		delta := 0.0
+		for i := range p {
+			delta += math.Abs(next[i] - p[i])
+		}
+		copy(p, next)
+		if delta < o.Tol {
+			break
+		}
+	}
+	return p, nil
+}
+
+func normalize(p []float64) {
+	total := 0.0
+	for _, v := range p {
+		total += v
+	}
+	if total <= 0 {
+		u := 1 / float64(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= total
+	}
+}
+
+// Smoother1D returns a binomial [1,2,1]/4 smoothing kernel over a 1-D
+// domain, the EMS smoothing of Li et al. Mass that would leave the domain
+// at the borders stays in the border cell, so total mass is conserved
+// exactly.
+func Smoother1D() func(p []float64) {
+	return func(p []float64) {
+		n := len(p)
+		if n < 3 {
+			return
+		}
+		out := make([]float64, n)
+		for i, v := range p {
+			left, right := i-1, i+1
+			if left < 0 {
+				left = 0
+			}
+			if right >= n {
+				right = n - 1
+			}
+			out[i] += v / 2
+			out[left] += v / 4
+			out[right] += v / 4
+		}
+		copy(p, out)
+	}
+}
+
+// Smoother2D returns the 2-D analogue: each cell spreads its mass with a
+// 3×3 binomial kernel (centre 4, edges 2, corners 1, total 16) over a d×d
+// row-major grid. Out-of-grid shares stay at the source cell, conserving
+// total mass exactly.
+func Smoother2D(d int) func(p []float64) {
+	return func(p []float64) {
+		if d < 2 || len(p) != d*d {
+			return
+		}
+		out := make([]float64, len(p))
+		for y := 0; y < d; y++ {
+			for x := 0; x < d; x++ {
+				v := p[y*d+x]
+				if v == 0 {
+					continue
+				}
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						w := 4.0
+						if dx != 0 {
+							w /= 2
+						}
+						if dy != 0 {
+							w /= 2
+						}
+						nx, ny := x+dx, y+dy
+						if nx < 0 || nx >= d || ny < 0 || ny >= d {
+							nx, ny = x, y // reflect leakage back to source
+						}
+						out[ny*d+nx] += v * w / 16
+					}
+				}
+			}
+		}
+		copy(p, out)
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpspatial/internal/baselines"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rangequery"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/sam"
+)
+
+// AblationShrinkage quantifies the gain of the border-shrinkage method
+// (Section VI) — DAM vs DAM-NS across datasets at the default setting —
+// the design choice DESIGN.md calls out.
+func (s *Suite) AblationShrinkage() (*Table, error) {
+	t := &Table{
+		Name:   "ablation-shrink",
+		Title:  fmt.Sprintf("Border shrinkage: W2 at d=%d, eps=%g", DefaultD, DefaultEps),
+		Header: []string{"Dataset", "DAM-NS", "DAM", "Gain %"},
+	}
+	for _, dataset := range DatasetNames() {
+		ns, err := s.evalOne("DAM-NS", dataset, DefaultD, DefaultEps, MetricSinkhorn)
+		if err != nil {
+			return nil, err
+		}
+		dam, err := s.evalOne("DAM", dataset, DefaultD, DefaultEps, MetricSinkhorn)
+		if err != nil {
+			return nil, err
+		}
+		gain := 0.0
+		if ns > 0 {
+			gain = (ns - dam) / ns * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			dataset,
+			fmt.Sprintf("%.4f", ns),
+			fmt.Sprintf("%.4f", dam),
+			fmt.Sprintf("%+.1f", gain),
+		})
+	}
+	return t, nil
+}
+
+// AblationPostprocess compares plain EM against EM-with-2-D-smoothing
+// decoding for DAM.
+func (s *Suite) AblationPostprocess(dataset string) (*Table, error) {
+	parts, err := s.parts(dataset)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "ablation-post",
+		Title:  fmt.Sprintf("Post-processing on %s: EM vs EMS (d=%d, eps=%g)", dataset, DefaultD, DefaultEps),
+		Header: []string{"Part", "EM", "EMS"},
+	}
+	for pi, part := range parts {
+		truth, err := part.truthHist(DefaultD)
+		if err != nil {
+			return nil, err
+		}
+		normTruth := truth.Clone().Normalize()
+		plain, err := sam.NewDAM(truth.Dom, DefaultEps)
+		if err != nil {
+			return nil, err
+		}
+		smooth, err := sam.NewDAM(truth.Dom, DefaultEps, sam.WithSmoothing())
+		if err != nil {
+			return nil, err
+		}
+		row := []string{part.name}
+		for _, mech := range []*sam.Mechanism{plain, smooth} {
+			total := 0.0
+			for rep := 0; rep < s.cfg.Repeats; rep++ {
+				r := rng.New(s.cfg.Seed + uint64(rep)*31 + uint64(pi))
+				est, err := mech.EstimateHist(truth, r)
+				if err != nil {
+					return nil, err
+				}
+				w2, err := s.cfg.W2(normTruth, est, MetricSinkhorn)
+				if err != nil {
+					return nil, err
+				}
+				total += w2
+			}
+			row = append(row, fmt.Sprintf("%.4f", total/float64(s.cfg.Repeats)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblationBaselines widens the comparison to the Table I design space:
+// the categorical CFO strawman, the continuous Geo-I planar Laplace, the
+// AHEAD hierarchy, MDSW and DAM on one dataset.
+func (s *Suite) AblationBaselines(dataset string, d int, eps float64) (*Table, error) {
+	parts, err := s.parts(dataset)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "ablation-baselines",
+		Title:  fmt.Sprintf("Design space on %s (d=%d, eps=%g)", dataset, d, eps),
+		Header: []string{"Mechanism", "W2", "Privacy notion"},
+	}
+	type entry struct {
+		name   string
+		notion string
+		build  func(dom grid.Domain) (Estimator, error)
+	}
+	mechanisms := []entry{
+		{"CFO", "eps-LDP", func(dom grid.Domain) (Estimator, error) { return baselines.NewCFO(dom, eps) }},
+		{"AdaptiveGrid", "eps-LDP", func(dom grid.Domain) (Estimator, error) { return baselines.NewAdaptiveGrid(dom, eps) }},
+		{"MDSW", "eps-LDP", func(dom grid.Domain) (Estimator, error) { return s.buildMechanism("MDSW", dom, eps) }},
+		{"AHEAD", "eps-LDP", func(dom grid.Domain) (Estimator, error) { return rangequery.NewAHEAD(dom, eps) }},
+		{"PlanarLaplace", "eps-Geo-I", func(dom grid.Domain) (Estimator, error) { return baselines.NewPlanarLaplace(dom, eps) }},
+		{"DAM", "eps-LDP", func(dom grid.Domain) (Estimator, error) { return s.buildMechanism("DAM", dom, eps) }},
+	}
+	for _, m := range mechanisms {
+		total := 0.0
+		count := 0
+		for pi, part := range parts {
+			truth, err := part.truthHist(d)
+			if err != nil {
+				return nil, err
+			}
+			mech, err := m.build(truth.Dom)
+			if err != nil {
+				return nil, err
+			}
+			normTruth := truth.Clone().Normalize()
+			for rep := 0; rep < s.cfg.Repeats; rep++ {
+				r := rng.New(s.cfg.Seed + uint64(rep)*53 + uint64(pi)*97 ^ hashName(m.name))
+				est, err := mech.EstimateHist(truth, r)
+				if err != nil {
+					return nil, err
+				}
+				w2, err := s.cfg.W2(normTruth, est, MetricSinkhorn)
+				if err != nil {
+					return nil, err
+				}
+				total += w2
+				count++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name, fmt.Sprintf("%.4f", total/float64(count)), m.notion,
+		})
+	}
+	return t, nil
+}
+
+// RangeQueryExperiment measures the private range-query MSE (the
+// Section II composition claim): answers over the DAM estimate vs the
+// AHEAD hierarchy vs the flat CFO estimate, across query selectivities.
+func (s *Suite) RangeQueryExperiment(dataset string, d int, eps float64) (*Figure, error) {
+	parts, err := s.parts(dataset)
+	if err != nil {
+		return nil, err
+	}
+	part := parts[0]
+	truth, err := part.truthHist(d)
+	if err != nil {
+		return nil, err
+	}
+	normTruth := truth.Clone().Normalize()
+	r := rng.New(s.cfg.Seed ^ 0x52515859)
+	workload, err := rangequery.RandomWorkload(d, 200, r)
+	if err != nil {
+		return nil, err
+	}
+	// Bucket queries by selectivity (fraction of cells covered).
+	buckets := []float64{0.05, 0.1, 0.2, 0.4, 1.0}
+	bucketOf := func(q rangequery.Query) int {
+		sel := float64(q.Area()) / float64(d*d)
+		for i, limit := range buckets {
+			if sel <= limit {
+				return i
+			}
+		}
+		return len(buckets) - 1
+	}
+
+	type estEntry struct {
+		name string
+		est  *grid.Hist2D
+	}
+	var estimators []estEntry
+
+	dam, err := sam.NewDAM(truth.Dom, eps)
+	if err != nil {
+		return nil, err
+	}
+	damEst, err := dam.EstimateHist(truth, rng.New(s.cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+	estimators = append(estimators, estEntry{"DAM", damEst})
+
+	ahead, err := rangequery.NewAHEAD(truth.Dom, eps)
+	if err != nil {
+		return nil, err
+	}
+	aheadEst, err := ahead.EstimateHist(truth, rng.New(s.cfg.Seed+2))
+	if err != nil {
+		return nil, err
+	}
+	estimators = append(estimators, estEntry{"AHEAD", aheadEst})
+
+	cfo, err := baselines.NewCFO(truth.Dom, eps)
+	if err != nil {
+		return nil, err
+	}
+	cfoEst, err := cfo.EstimateHist(truth, rng.New(s.cfg.Seed+3))
+	if err != nil {
+		return nil, err
+	}
+	estimators = append(estimators, estEntry{"CFO", cfoEst})
+
+	fig := &Figure{
+		Name:   "rangequery",
+		Title:  fmt.Sprintf("Range-query MSE on %s part %s (d=%d, eps=%g)", dataset, part.name, d, eps),
+		XLabel: "selectivity≤",
+		YLabel: "MSE",
+	}
+	for _, e := range estimators {
+		series := Series{Label: e.name}
+		for bi, limit := range buckets {
+			var qs []rangequery.Query
+			for _, q := range workload {
+				if bucketOf(q) == bi {
+					qs = append(qs, q)
+				}
+			}
+			if len(qs) == 0 {
+				continue
+			}
+			mse, err := rangequery.MSE(normTruth, e.est, qs)
+			if err != nil {
+				return nil, err
+			}
+			series.X = append(series.X, limit)
+			series.Y = append(series.Y, mse)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Scale:         0.002,
+		Repeats:       1,
+		Seed:          11,
+		MaxPoints:     1500,
+		LPCalibration: false,
+	}
+}
+
+func TestAblationShrinkageProducesAllDatasets(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	tab, err := s.AblationShrinkage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(DatasetNames()) {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, col := range []int{1, 2} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v < 0 {
+				t.Fatalf("row %v has invalid W2 %q", row, row[col])
+			}
+		}
+	}
+}
+
+func TestAblationPostprocessRuns(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	tab, err := s.AblationPostprocess("SZipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("SZipf should have one part, got %d rows", len(tab.Rows))
+	}
+	if len(tab.Rows[0]) != 3 {
+		t.Fatalf("row %v should have EM and EMS columns", tab.Rows[0])
+	}
+}
+
+func TestAblationBaselinesOrdering(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Repeats = 2
+	cfg.MaxPoints = 4000
+	cfg.Scale = 0.01
+	s := NewSuite(cfg)
+	tab, err := s.AblationBaselines("Normal", 6, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		vals[row[0]] = v
+	}
+	// The categorical strawman must lose to the distance-aware DAM.
+	if vals["DAM"] >= vals["CFO"] {
+		t.Fatalf("DAM W2 %v not below CFO %v", vals["DAM"], vals["CFO"])
+	}
+	if len(vals) != 6 {
+		t.Fatalf("expected 6 mechanisms, got %v", vals)
+	}
+	if _, ok := vals["AdaptiveGrid"]; !ok {
+		t.Fatalf("AdaptiveGrid missing from %v", vals)
+	}
+}
+
+func TestRangeQueryExperimentSeriesShape(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	fig, err := s.RangeQueryExperiment("SZipf", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("got %d series", len(fig.Series))
+	}
+	labels := map[string]bool{}
+	for _, series := range fig.Series {
+		labels[series.Label] = true
+		if len(series.X) == 0 {
+			t.Fatalf("series %s empty", series.Label)
+		}
+		for _, y := range series.Y {
+			if y < 0 {
+				t.Fatalf("series %s has negative MSE", series.Label)
+			}
+		}
+	}
+	for _, want := range []string{"DAM", "AHEAD", "CFO"} {
+		if !labels[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+	if !strings.Contains(fig.Format(), "selectivity") {
+		t.Fatal("figure format lost the x label")
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fastConfig keeps harness tests in the seconds range.
+func fastConfig() Config {
+	return Config{
+		Scale:         0.002,
+		Repeats:       1,
+		Seed:          7,
+		MaxPoints:     2000,
+		LPCalibration: false,
+	}
+}
+
+func TestDatasetPartsGenerate(t *testing.T) {
+	s := NewSuite(fastConfig())
+	for _, name := range DatasetNames() {
+		parts, err := s.parts(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(parts) == 0 {
+			t.Fatalf("%s: no parts", name)
+		}
+		for _, p := range parts {
+			if len(p.points) == 0 {
+				t.Fatalf("%s part %s: no points", name, p.name)
+			}
+			if len(p.points) > 2000 {
+				t.Fatalf("%s part %s: cap not applied (%d points)", name, p.name, len(p.points))
+			}
+		}
+	}
+	if _, err := s.parts("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestTruthHistMatchesPartSize(t *testing.T) {
+	s := NewSuite(fastConfig())
+	parts, err := s.parts("Normal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := parts[0].truthHist(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(h.Total()) != len(parts[0].points) {
+		t.Fatalf("hist total %v for %d points", h.Total(), len(parts[0].points))
+	}
+}
+
+func TestEvalOneAllMechanisms(t *testing.T) {
+	s := NewSuite(fastConfig())
+	for _, mech := range MechanismNames() {
+		w2, err := s.evalOne(mech, "SZipf", 3, 2.0, MetricExact)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if w2 < 0 || math.IsNaN(w2) || w2 > 5 {
+			t.Fatalf("%s: implausible W2 %v on a 3x3 grid", mech, w2)
+		}
+	}
+	if _, err := s.evalOne("nope", "SZipf", 3, 2, MetricExact); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestEvalOneDeterministic(t *testing.T) {
+	a := NewSuite(fastConfig())
+	b := NewSuite(fastConfig())
+	w1, err := a.evalOne("DAM", "Normal", 4, 2, MetricExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := b.evalOne("DAM", "Normal", 4, 2, MetricExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatalf("same config produced %v and %v", w1, w2)
+	}
+}
+
+func TestDAMBeatsMDSWOnCorrelatedData(t *testing.T) {
+	// The paper's headline claim at a small but non-trivial setting.
+	cfg := fastConfig()
+	cfg.Repeats = 2
+	cfg.MaxPoints = 4000
+	cfg.Scale = 0.01
+	s := NewSuite(cfg)
+	dam, err := s.evalOne("DAM", "Normal", 5, 3.5, MetricExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdswW2, err := s.evalOne("MDSW", "Normal", 5, 3.5, MetricExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dam >= mdswW2 {
+		t.Fatalf("DAM W2 %v not below MDSW %v", dam, mdswW2)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	// Figure 8 at reduced size: just verify the runner produces aligned
+	// series over the multipliers for every dataset.
+	cfg := fastConfig()
+	s := NewSuite(cfg)
+	fig, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(DatasetNames()) {
+		t.Fatalf("fig8 has %d series", len(fig.Series))
+	}
+	for _, series := range fig.Series {
+		if len(series.X) != len(RadiusMultipliers) || len(series.Y) != len(series.X) {
+			t.Fatalf("series %s misaligned", series.Label)
+		}
+		for _, y := range series.Y {
+			if y < 0 || math.IsNaN(y) {
+				t.Fatalf("series %s has invalid W2 %v", series.Label, y)
+			}
+		}
+	}
+}
+
+func TestFig9SmallDPanel(t *testing.T) {
+	s := NewSuite(fastConfig())
+	fig, err := s.Fig9SmallD("SZipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Name != "fig9d" {
+		t.Fatalf("panel name %s, want fig9d (SZipf is 4th dataset)", fig.Name)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("got %d series", len(fig.Series))
+	}
+}
+
+func TestFig14Runners(t *testing.T) {
+	cfg := fastConfig()
+	s := NewSuite(cfg)
+	// Single point each to keep runtime small: use the internal eval.
+	for _, mech := range TrajectoryMechanismNames() {
+		w2, err := s.evalTrajectory(mech, 5, 1.5)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if w2 < 0 || math.IsNaN(w2) {
+			t.Fatalf("%s: invalid W2 %v", mech, w2)
+		}
+	}
+	if _, err := s.evalTrajectory("nope", 5, 1.5); err == nil {
+		t.Fatal("unknown trajectory mechanism accepted")
+	}
+}
+
+func TestTables(t *testing.T) {
+	s := NewSuite(fastConfig())
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 6 {
+		t.Fatalf("table 3 has %d rows, want 6 (2 datasets × 3 parts)", len(t3.Rows))
+	}
+	t4 := s.Table4()
+	if len(t4.Rows) != 3 {
+		t.Fatalf("table 4 has %d rows", len(t4.Rows))
+	}
+	t5 := s.Table5()
+	if len(t5.Rows) != 2 {
+		t.Fatalf("table 5 has %d rows", len(t5.Rows))
+	}
+	if !strings.Contains(t3.Format(), "Crime") {
+		t.Fatal("table 3 formatting lost dataset names")
+	}
+}
+
+func TestFigureFormat(t *testing.T) {
+	fig := &Figure{
+		Name: "figX", Title: "demo", XLabel: "d", YLabel: "W2",
+		Series: []Series{
+			{Label: "A", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+			{Label: "B", X: []float64{1, 2}, Y: []float64{0.7}},
+		},
+	}
+	out := fig.Format()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "0.5000") {
+		t.Fatalf("unexpected format output:\n%s", out)
+	}
+	if !strings.Contains(out, "-") { // missing value placeholder
+		t.Fatal("missing-value placeholder absent")
+	}
+}
+
+func TestSemCalibrationCachesAndOrdersPrivacy(t *testing.T) {
+	cfg := fastConfig()
+	cfg.LPCalibration = true
+	s := NewSuite(cfg)
+	e1, err := s.semEpsilon(3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.semEpsilon(3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("calibration cache miss")
+	}
+	// A larger DAM budget (less privacy) must calibrate to a larger SEM
+	// budget.
+	e3, err := s.semEpsilon(3, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 <= e1 {
+		t.Fatalf("eps'=%v for eps=5 not above eps'=%v for eps=2", e3, e1)
+	}
+}
+
+func TestSummarizeShapes(t *testing.T) {
+	figs := map[string]*Figure{
+		"fig9a": {
+			Name: "fig9a",
+			Series: []Series{
+				{Label: "DAM", X: []float64{1, 2}, Y: []float64{0.1, 0.2}},
+				{Label: "MDSW", X: []float64{1, 2}, Y: []float64{0.3, 0.4}},
+				{Label: "HUEM", X: []float64{1, 2}, Y: []float64{0.2, 0.3}},
+			},
+		},
+		"fig8": {
+			Name: "fig8",
+			Series: []Series{
+				{Label: "Crime", X: []float64{0.33, 0.67, 1, 1.33, 1.67}, Y: []float64{0.5, 0.3, 0.2, 0.3, 0.5}},
+			},
+		},
+	}
+	lines := SummarizeShapes(figs)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "PASS") {
+		t.Fatalf("expected passing claims, got:\n%s", joined)
+	}
+	// Flip DAM and MDSW: the claim must now diverge.
+	figs["fig9a"].Series[0].Y = []float64{0.5, 0.6}
+	lines = SummarizeShapes(figs)
+	joined = strings.Join(lines, "\n")
+	if !strings.Contains(joined, "DIVERGES") {
+		t.Fatalf("expected diverging claim, got:\n%s", joined)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale <= 0 || c.Repeats < 1 || c.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if _, err := (Config{}).W2(nil, nil, Metric(99)); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/sam"
+	"dpspatial/internal/trajectory"
+)
+
+// Paper parameter grids (Table IV).
+var (
+	// SmallDValues drives Figure 9(a–e).
+	SmallDValues = []int{1, 2, 3, 4, 5}
+	// LargeDValues drives Figure 9(f–j) and Figure 13(b).
+	LargeDValues = []int{1, 5, 10, 15, 20}
+	// SmallEpsValues drives Figure 9(k–o).
+	SmallEpsValues = []float64{0.7, 1.4, 2.1, 2.8, 3.5}
+	// LargeEpsValues drives Figure 9(p–t).
+	LargeEpsValues = []float64{5, 6, 7, 8, 9}
+	// RadiusMultipliers drives Figure 8.
+	RadiusMultipliers = []float64{0.33, 0.67, 1.0, 1.33, 1.67}
+	// DefaultD and DefaultEps are Table IV's defaults.
+	DefaultD   = 15
+	DefaultEps = 3.5
+)
+
+// Fig8 reproduces Figure 8: W₂ of DAM as the radius b sweeps multiples of
+// the optimal b̌, at d=15 and ε=3.5, one series per dataset.
+func (s *Suite) Fig8() (*Figure, error) {
+	fig := &Figure{
+		Name:   "fig8",
+		Title:  "Wasserstein distances with b varied (DAM, d=15, eps=3.5)",
+		XLabel: "b/b̌",
+		YLabel: "W2",
+	}
+	bOpt, err := sam.OptimalB(DefaultEps, float64(DefaultD))
+	if err != nil {
+		return nil, err
+	}
+	for _, dataset := range DatasetNames() {
+		series := Series{Label: dataset}
+		for _, mult := range RadiusMultipliers {
+			bHat := int(math.Floor(mult * bOpt))
+			w2, err := s.evalDAMWithRadius(dataset, DefaultD, DefaultEps, bHat)
+			if err != nil {
+				return nil, err
+			}
+			series.X = append(series.X, mult)
+			series.Y = append(series.Y, w2)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// evalDAMWithRadius runs DAM with an explicit b̂ (Figure 8's sweep).
+func (s *Suite) evalDAMWithRadius(dataset string, d int, eps float64, bHat int) (float64, error) {
+	parts, err := s.parts(dataset)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	count := 0
+	for pi, part := range parts {
+		truth, err := part.truthHist(d)
+		if err != nil {
+			return 0, err
+		}
+		mech, err := sam.NewDAM(truth.Dom, eps, sam.WithBHat(bHat))
+		if err != nil {
+			return 0, err
+		}
+		normTruth := truth.Clone().Normalize()
+		for rep := 0; rep < s.cfg.Repeats; rep++ {
+			r := rng.New(s.cfg.Seed + uint64(rep)*999983 + uint64(pi)*7919 + uint64(bHat))
+			est, err := mech.EstimateHist(truth, r)
+			if err != nil {
+				return 0, err
+			}
+			w2, err := s.cfg.W2(normTruth, est, MetricSinkhorn)
+			if err != nil {
+				return 0, err
+			}
+			total += w2
+			count++
+		}
+	}
+	return total / float64(count), nil
+}
+
+// sweep runs a family of mechanisms across X values for one dataset.
+func (s *Suite) sweep(dataset string, mechs []string, xs []float64,
+	dOf func(x float64) int, epsOf func(x float64) float64, metric Metric) ([]Series, error) {
+	out := make([]Series, 0, len(mechs))
+	for _, mech := range mechs {
+		series := Series{Label: mech}
+		for _, x := range xs {
+			w2, err := s.evalOne(mech, dataset, dOf(x), epsOf(x), metric)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s at x=%v: %w", mech, dataset, x, err)
+			}
+			series.X = append(series.X, x)
+			series.Y = append(series.Y, w2)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+func panelLetter(figBase string, dataset string, offset int) string {
+	idx := 0
+	for i, n := range DatasetNames() {
+		if n == dataset {
+			idx = i
+		}
+	}
+	return fmt.Sprintf("%s%c", figBase, 'a'+offset+idx)
+}
+
+// Fig9SmallD reproduces Figure 9(a–e): all five mechanisms, d ∈ 1..5,
+// ε=3.5, exact W₂ via LP.
+func (s *Suite) Fig9SmallD(dataset string) (*Figure, error) {
+	xs := intsToFloats(SmallDValues)
+	series, err := s.sweep(dataset, MechanismNames(), xs,
+		func(x float64) int { return int(x) },
+		func(x float64) float64 { return DefaultEps },
+		MetricExact)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:   panelLetter("fig9", dataset, 0),
+		Title:  fmt.Sprintf("W2 vs small d on %s (eps=3.5, exact LP)", dataset),
+		XLabel: "d", YLabel: "W2", Series: series,
+	}, nil
+}
+
+// Fig9LargeD reproduces Figure 9(f–j): SEM-Geo-I vs DAM at larger d,
+// ε=5, Sinkhorn W₂.
+func (s *Suite) Fig9LargeD(dataset string) (*Figure, error) {
+	xs := intsToFloats(LargeDValues)
+	series, err := s.sweep(dataset, []string{"SEM-Geo-I", "DAM"}, xs,
+		func(x float64) int { return int(x) },
+		func(x float64) float64 { return 5 },
+		MetricSinkhorn)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:   panelLetter("fig9", dataset, 5),
+		Title:  fmt.Sprintf("W2 vs large d on %s (eps=5, Sinkhorn)", dataset),
+		XLabel: "d", YLabel: "W2", Series: series,
+	}, nil
+}
+
+// Fig9SmallEps reproduces Figure 9(k–o): all five mechanisms, ε ∈
+// 0.7..3.5 at d=15.
+func (s *Suite) Fig9SmallEps(dataset string) (*Figure, error) {
+	series, err := s.sweep(dataset, MechanismNames(), SmallEpsValues,
+		func(x float64) int { return DefaultD },
+		func(x float64) float64 { return x },
+		MetricSinkhorn)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:   panelLetter("fig9", dataset, 10),
+		Title:  fmt.Sprintf("W2 vs small eps on %s (d=15)", dataset),
+		XLabel: "eps", YLabel: "W2", Series: series,
+	}, nil
+}
+
+// Fig9LargeEps reproduces Figure 9(p–t): SEM-Geo-I vs DAM, ε ∈ 5..9 at
+// d=15, Sinkhorn.
+func (s *Suite) Fig9LargeEps(dataset string) (*Figure, error) {
+	series, err := s.sweep(dataset, []string{"SEM-Geo-I", "DAM"}, LargeEpsValues,
+		func(x float64) int { return DefaultD },
+		func(x float64) float64 { return x },
+		MetricSinkhornDebiased)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:   panelLetter("fig9", dataset, 15),
+		Title:  fmt.Sprintf("W2 vs large eps on %s (d=15, Sinkhorn)", dataset),
+		XLabel: "eps", YLabel: "W2", Series: series,
+	}, nil
+}
+
+// Fig13 reproduces the full-domain Crime panels of Appendix C: the same
+// four sweeps evaluated on the whole Crime domain instead of per part.
+func (s *Suite) Fig13(panel string) (*Figure, error) {
+	// Full domain = all points of every part as one square domain. We
+	// register it as a synthetic dataset part under a dedicated name.
+	const name = "CrimeFull"
+	if _, ok := s.datasets[name]; !ok {
+		parts, err := s.parts("Crime")
+		if err != nil {
+			return nil, err
+		}
+		var all partData
+		all.name = "full"
+		for _, p := range parts {
+			all.points = append(all.points, p.points...)
+		}
+		s.datasets[name] = []partData{all}
+	}
+	switch panel {
+	case "a":
+		xs := intsToFloats(SmallDValues)
+		series, err := s.sweep(name, MechanismNames(), xs,
+			func(x float64) int { return int(x) },
+			func(x float64) float64 { return DefaultEps }, MetricExact)
+		if err != nil {
+			return nil, err
+		}
+		return &Figure{Name: "fig13a", Title: "Full-domain Crime: W2 vs small d",
+			XLabel: "d", YLabel: "W2", Series: series}, nil
+	case "b":
+		xs := intsToFloats(LargeDValues)
+		series, err := s.sweep(name, []string{"SEM-Geo-I", "DAM"}, xs,
+			func(x float64) int { return int(x) },
+			func(x float64) float64 { return 5 }, MetricSinkhorn)
+		if err != nil {
+			return nil, err
+		}
+		return &Figure{Name: "fig13b", Title: "Full-domain Crime: W2 vs large d",
+			XLabel: "d", YLabel: "W2", Series: series}, nil
+	case "c":
+		series, err := s.sweep(name, MechanismNames(), SmallEpsValues,
+			func(x float64) int { return DefaultD },
+			func(x float64) float64 { return x }, MetricSinkhorn)
+		if err != nil {
+			return nil, err
+		}
+		return &Figure{Name: "fig13c", Title: "Full-domain Crime: W2 vs small eps",
+			XLabel: "eps", YLabel: "W2", Series: series}, nil
+	case "d":
+		series, err := s.sweep(name, []string{"SEM-Geo-I", "DAM"}, LargeEpsValues,
+			func(x float64) int { return DefaultD },
+			func(x float64) float64 { return x }, MetricSinkhornDebiased)
+		if err != nil {
+			return nil, err
+		}
+		return &Figure{Name: "fig13d", Title: "Full-domain Crime: W2 vs large eps",
+			XLabel: "eps", YLabel: "W2", Series: series}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown fig13 panel %q", panel)
+	}
+}
+
+// Trajectory experiment parameters (Table V).
+var (
+	// TrajectoryDValues drives Figure 14(a).
+	TrajectoryDValues = []int{1, 5, 10, 15, 20}
+	// TrajectoryEpsValues drives Figure 14(b).
+	TrajectoryEpsValues = []float64{0.5, 1.0, 1.5, 2.0, 2.5}
+	// TrajectoryDefaultD and TrajectoryDefaultEps are the defaults.
+	TrajectoryDefaultD   = 15
+	TrajectoryDefaultEps = 1.5
+)
+
+// trajWorkload builds (and caches) the Appendix-D trajectory workload on
+// the NYC-like dataset.
+func (s *Suite) trajWorkload() ([]trajectory.Trajectory, []geom.Point, error) {
+	if s.trajCache != nil {
+		return s.trajCache, s.trajPoints, nil
+	}
+	parts, err := s.parts("NYC")
+	if err != nil {
+		return nil, nil, err
+	}
+	var pts []geom.Point
+	for _, p := range parts {
+		pts = append(pts, p.points...)
+	}
+	cfg := trajectory.WorkloadConfig{
+		// The paper samples on a 300×300 grid; scale the resolution with
+		// the thinned dataset so cells stay dense enough to walk.
+		GridD:   trajGridD(len(pts)),
+		NumTraj: 1000,
+		MinLen:  2,
+		MaxLen:  200,
+	}
+	trajs, err := trajectory.Generate(pts, cfg, rng.New(s.cfg.Seed^0x72616a))
+	if err != nil {
+		return nil, nil, err
+	}
+	s.trajCache = trajs
+	s.trajPoints = pts
+	return trajs, pts, nil
+}
+
+// trajGridD picks a sampling-grid resolution with ≈2 points per occupied
+// cell at the configured dataset scale, capped at the paper's 300.
+func trajGridD(numPoints int) int {
+	d := int(math.Sqrt(float64(numPoints) / 2))
+	if d < 10 {
+		d = 10
+	}
+	if d > 300 {
+		d = 300
+	}
+	return d
+}
+
+// evalTrajectory measures the point-distribution W₂ of one trajectory
+// mechanism at (d, eps) following the seven-step protocol of Appendix D.
+func (s *Suite) evalTrajectory(mech string, d int, eps float64) (float64, error) {
+	trajs, pts, err := s.trajWorkload()
+	if err != nil {
+		return 0, err
+	}
+	dom, err := grid.SquareDomain(pts, d)
+	if err != nil {
+		return 0, err
+	}
+	truth := trajectory.PointHist(dom, trajs).Normalize()
+
+	total := 0.0
+	for rep := 0; rep < s.cfg.Repeats; rep++ {
+		r := rng.New(s.cfg.Seed + uint64(rep)*104729 ^ hashName(mech))
+		var rec []trajectory.Trajectory
+		switch mech {
+		case "LDPTrace":
+			l, err := trajectory.NewLDPTrace(dom, eps, 200)
+			if err != nil {
+				return 0, err
+			}
+			if rec, err = l.Synthesize(trajs, r); err != nil {
+				return 0, err
+			}
+		case "PivotTrace":
+			p, err := trajectory.NewPivotTrace(dom, eps, 4)
+			if err != nil {
+				return 0, err
+			}
+			if rec, err = p.Reconstruct(trajs, r); err != nil {
+				return 0, err
+			}
+		case "DAM":
+			// DAM treats every trajectory point as an independent user
+			// report (the paper's point-statistics transformation).
+			m, err := sam.NewDAM(dom, eps)
+			if err != nil {
+				return 0, err
+			}
+			est, err := m.EstimateHist(trajectory.PointHist(dom, trajs), r)
+			if err != nil {
+				return 0, err
+			}
+			w2, err := s.cfg.W2(truth, est, MetricSinkhorn)
+			if err != nil {
+				return 0, err
+			}
+			total += w2
+			continue
+		default:
+			return 0, fmt.Errorf("experiments: unknown trajectory mechanism %q", mech)
+		}
+		est := trajectory.PointHist(dom, rec).Normalize()
+		w2, err := s.cfg.W2(truth, est, MetricSinkhorn)
+		if err != nil {
+			return 0, err
+		}
+		total += w2
+	}
+	return total / float64(s.cfg.Repeats), nil
+}
+
+// TrajectoryMechanismNames lists the Figure 14 legend.
+func TrajectoryMechanismNames() []string {
+	return []string{"LDPTrace", "PivotTrace", "DAM"}
+}
+
+// Fig14a reproduces Figure 14(a): trajectory W₂ vs d at ε=1.5.
+func (s *Suite) Fig14a() (*Figure, error) {
+	fig := &Figure{
+		Name:   "fig14a",
+		Title:  "Trajectory W2 vs d on NYC (eps=1.5)",
+		XLabel: "d", YLabel: "W2",
+	}
+	for _, mech := range TrajectoryMechanismNames() {
+		series := Series{Label: mech}
+		for _, d := range TrajectoryDValues {
+			w2, err := s.evalTrajectory(mech, d, TrajectoryDefaultEps)
+			if err != nil {
+				return nil, err
+			}
+			series.X = append(series.X, float64(d))
+			series.Y = append(series.Y, w2)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig14b reproduces Figure 14(b): trajectory W₂ vs ε at d=15.
+func (s *Suite) Fig14b() (*Figure, error) {
+	fig := &Figure{
+		Name:   "fig14b",
+		Title:  "Trajectory W2 vs eps on NYC (d=15)",
+		XLabel: "eps", YLabel: "W2",
+	}
+	for _, mech := range TrajectoryMechanismNames() {
+		series := Series{Label: mech}
+		for _, eps := range TrajectoryEpsValues {
+			w2, err := s.evalTrajectory(mech, TrajectoryDefaultD, eps)
+			if err != nil {
+				return nil, err
+			}
+			series.X = append(series.X, eps)
+			series.Y = append(series.Y, w2)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+func intsToFloats(vs []int) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import "encoding/json"
+
+// JSON renders a figure as deterministic JSON for downstream plotting
+// tools.
+func (f *Figure) JSON() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// JSON renders a table as deterministic JSON.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}

@@ -1,0 +1,265 @@
+package fo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dpspatial/internal/rng"
+)
+
+func TestGRRChannelRowStochastic(t *testing.T) {
+	for _, k := range []int{2, 5, 50} {
+		for _, eps := range []float64{0.5, 1, 4} {
+			g, err := NewGRR(k, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Channel().Validate(); err != nil {
+				t.Fatalf("k=%d eps=%v: %v", k, eps, err)
+			}
+		}
+	}
+}
+
+func TestGRRSatisfiesLDP(t *testing.T) {
+	for _, k := range []int{2, 10, 100} {
+		for _, eps := range []float64{0.7, 2.1, 5} {
+			g, err := NewGRR(k, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := g.Channel().MaxRatio()
+			if ratio > math.Exp(eps)*(1+1e-9) {
+				t.Fatalf("k=%d eps=%v: ratio %v > e^eps %v", k, eps, ratio, math.Exp(eps))
+			}
+			// And tightness: GRR uses the full budget.
+			if ratio < math.Exp(eps)*(1-1e-9) {
+				t.Fatalf("k=%d eps=%v: ratio %v loose vs e^eps %v", k, eps, ratio, math.Exp(eps))
+			}
+		}
+	}
+}
+
+func TestGRRPerturbMatchesChannel(t *testing.T) {
+	g, err := NewGRR(5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const trials = 200000
+	counts := make([]float64, 5)
+	for i := 0; i < trials; i++ {
+		counts[g.Perturb(2, r)]++
+	}
+	for j := range counts {
+		want := g.Channel().At(2, j)
+		got := counts[j] / trials
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("output %d frequency %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestGRREstimateRecoversDistribution(t *testing.T) {
+	g, err := NewGRR(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{0.5, 0.3, 0.15, 0.05}
+	r := rng.New(2)
+	const n = 300000
+	counts := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		counts[g.Perturb(rng.WeightedChoice(r, truth), r)]++
+	}
+	est, err := g.Estimate(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.02 {
+			t.Fatalf("estimate %v deviates from truth %v", est, truth)
+		}
+	}
+}
+
+func TestGRRErrors(t *testing.T) {
+	if _, err := NewGRR(1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := NewGRR(3, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewGRR(3, math.Inf(1)); err == nil {
+		t.Fatal("eps=Inf accepted")
+	}
+	g, _ := NewGRR(3, 1)
+	if _, err := g.Estimate([]float64{1, 2}); err == nil {
+		t.Fatal("wrong count length accepted")
+	}
+	if _, err := g.Estimate([]float64{0, 0, 0}); err == nil {
+		t.Fatal("zero reports accepted")
+	}
+	if _, err := g.Estimate([]float64{1, -2, 3}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	v := []float64{0.5, -0.2, 0.7}
+	ProjectSimplex(v)
+	total := 0.0
+	for _, x := range v {
+		if x < 0 {
+			t.Fatalf("negative entry after projection: %v", v)
+		}
+		total += x
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("projection total %v", total)
+	}
+	allNeg := []float64{-1, -2}
+	ProjectSimplex(allNeg)
+	if math.Abs(allNeg[0]-0.5) > 1e-12 {
+		t.Fatalf("all-negative projection %v, want uniform", allNeg)
+	}
+}
+
+func TestChannelValidateCatchesBadRows(t *testing.T) {
+	ch := NewChannel(2, 2)
+	ch.Set(0, 0, 0.6)
+	ch.Set(0, 1, 0.4)
+	ch.Set(1, 0, 0.6)
+	ch.Set(1, 1, 0.6)
+	if err := ch.Validate(); err == nil {
+		t.Fatal("row summing to 1.2 accepted")
+	}
+	ch.Set(1, 1, -0.2)
+	if err := ch.Validate(); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+}
+
+func TestChannelMaxRatioInfiniteForDisjointSupport(t *testing.T) {
+	ch := NewChannel(2, 2)
+	ch.Set(0, 0, 1)
+	ch.Set(1, 1, 1)
+	if !math.IsInf(ch.MaxRatio(), 1) {
+		t.Fatal("disjoint-support channel should have infinite ratio")
+	}
+}
+
+func TestChannelApply(t *testing.T) {
+	g, _ := NewGRR(3, 2)
+	ch := g.Channel()
+	out, err := ch.Apply([]float64{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-g.TruthProb()) > 1e-12 {
+		t.Fatalf("apply output %v", out)
+	}
+	if _, err := ch.Apply([]float64{1, 0}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestChannelSamplers(t *testing.T) {
+	g, _ := NewGRR(4, 1)
+	tables, err := g.Channel().Samplers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("got %d samplers", len(tables))
+	}
+	r := rng.New(3)
+	v := tables[1].Draw(r)
+	if v < 0 || v >= 4 {
+		t.Fatalf("sampler output %d", v)
+	}
+}
+
+func TestOUEUnbiasedEstimation(t *testing.T) {
+	o, err := NewOUE(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{0.4, 0.2, 0.2, 0.1, 0.05, 0.05}
+	r := rng.New(5)
+	const n = 100000
+	support := make([]float64, 6)
+	for i := 0; i < n; i++ {
+		bits := o.PerturbBits(rng.WeightedChoice(r, truth), r)
+		if err := o.AccumulateBits(bits, support); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := o.EstimateBits(support, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.02 {
+			t.Fatalf("OUE estimate %v deviates from truth %v", est, truth)
+		}
+	}
+}
+
+func TestOUEBitFlipProbabilities(t *testing.T) {
+	o, err := NewOUE(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	const trials = 200000
+	trueOnes, falseOnes := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		bits := o.PerturbBits(0, r)
+		if bits[0] {
+			trueOnes++
+		}
+		if bits[1] {
+			falseOnes++
+		}
+	}
+	if math.Abs(trueOnes/trials-0.5) > 0.005 {
+		t.Fatalf("true-bit rate %v, want 0.5", trueOnes/trials)
+	}
+	wantQ := 1 / (math.Exp(1) + 1)
+	if math.Abs(falseOnes/trials-wantQ) > 0.005 {
+		t.Fatalf("false-bit rate %v, want %v", falseOnes/trials, wantQ)
+	}
+}
+
+func TestOUEErrors(t *testing.T) {
+	if _, err := NewOUE(1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := NewOUE(3, -1); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	o, _ := NewOUE(3, 1)
+	if _, err := o.EstimateBits([]float64{1, 2}, 10); err == nil {
+		t.Fatal("wrong support length accepted")
+	}
+	if _, err := o.EstimateBits([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	if err := o.AccumulateBits([]bool{true}, make([]float64, 3)); err == nil {
+		t.Fatal("wrong bit length accepted")
+	}
+}
+
+func TestQuickGRRPerturbInDomain(t *testing.T) {
+	g, _ := NewGRR(7, 1.3)
+	r := rng.New(11)
+	f := func(in uint8) bool {
+		v := g.Perturb(int(in)%7, r)
+		return v >= 0 && v < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/rng"
+)
+
+// GRR is generalized randomized response (k-RR): the categorical frequency
+// oracle the paper's CFO baselines build on. The true value is reported
+// with probability p = e^ε/(e^ε+k-1); any other value with probability
+// q = 1/(e^ε+k-1).
+type GRR struct {
+	k    int
+	eps  float64
+	p, q float64
+}
+
+// NewGRR returns a k-ary randomized-response oracle with budget eps > 0.
+func NewGRR(k int, eps float64) (*GRR, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("fo: GRR needs k >= 2, got %d", k)
+	}
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("fo: invalid epsilon %v", eps)
+	}
+	ee := math.Exp(eps)
+	return &GRR{
+		k:   k,
+		eps: eps,
+		p:   ee / (ee + float64(k) - 1),
+		q:   1 / (ee + float64(k) - 1),
+	}, nil
+}
+
+// NumInputs implements Oracle.
+func (g *GRR) NumInputs() int { return g.k }
+
+// NumOutputs implements Oracle.
+func (g *GRR) NumOutputs() int { return g.k }
+
+// Epsilon implements Oracle.
+func (g *GRR) Epsilon() float64 { return g.eps }
+
+// TruthProb returns p, the probability of reporting truthfully.
+func (g *GRR) TruthProb() float64 { return g.p }
+
+// LieProb returns q, the probability of reporting any specific other value.
+func (g *GRR) LieProb() float64 { return g.q }
+
+// Perturb implements Oracle.
+func (g *GRR) Perturb(input int, r *rng.RNG) int {
+	if r.Float64() < g.p {
+		return input
+	}
+	// Uniform over the k-1 other values.
+	v := r.Intn(g.k - 1)
+	if v >= input {
+		v++
+	}
+	return v
+}
+
+// Estimate implements Oracle with the standard unbiased inversion
+// f̂_i = (c_i/n − q) / (p − q), clipped to the simplex.
+func (g *GRR) Estimate(counts []float64) ([]float64, error) {
+	if len(counts) != g.k {
+		return nil, fmt.Errorf("fo: GRR expects %d counts, got %d", g.k, len(counts))
+	}
+	n := 0.0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("fo: negative count %v", c)
+		}
+		n += c
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("fo: no reports")
+	}
+	est := make([]float64, g.k)
+	for i, c := range counts {
+		est[i] = (c/n - g.q) / (g.p - g.q)
+	}
+	ProjectSimplex(est)
+	return est, nil
+}
+
+// Channel returns GRR's explicit channel matrix.
+func (g *GRR) Channel() *Channel {
+	ch := NewChannel(g.k, g.k)
+	for i := 0; i < g.k; i++ {
+		for j := 0; j < g.k; j++ {
+			if i == j {
+				ch.Set(i, j, g.p)
+			} else {
+				ch.Set(i, j, g.q)
+			}
+		}
+	}
+	return ch
+}
+
+// ProjectSimplex clips negatives to zero and renormalises in place — the
+// standard post-processing step that keeps unbiased LDP estimates valid
+// probability vectors.
+func ProjectSimplex(v []float64) {
+	total := 0.0
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		} else {
+			total += x
+		}
+	}
+	if total <= 0 {
+		u := 1 / float64(len(v))
+		for i := range v {
+			v[i] = u
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= total
+	}
+}

@@ -1,0 +1,103 @@
+// Package grid provides the bucketisation substrate of Section VI: square
+// spatial domains divided into d×d unit cells, dense 2-D histograms over
+// those cells, and the conversions between continuous points, cell
+// coordinates and flat indices that every mechanism and metric in this
+// repository shares.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/geom"
+)
+
+// Domain is a square spatial region [MinX, MinX+Side] × [MinY, MinY+Side]
+// divided into D×D grid cells (the paper's discrete side length d). Cell
+// (0,0) is the lower-left cell.
+type Domain struct {
+	MinX, MinY float64
+	Side       float64 // side length L of the square region
+	D          int     // number of cells along each side
+}
+
+// NewDomain validates and returns a domain. Side must be positive and
+// d ≥ 1.
+func NewDomain(minX, minY, side float64, d int) (Domain, error) {
+	if side <= 0 || math.IsNaN(side) || math.IsInf(side, 0) {
+		return Domain{}, fmt.Errorf("grid: invalid side length %v", side)
+	}
+	if d < 1 {
+		return Domain{}, fmt.Errorf("grid: invalid cell count d=%d", d)
+	}
+	return Domain{MinX: minX, MinY: minY, Side: side, D: d}, nil
+}
+
+// SquareDomain returns the smallest axis-aligned square domain with d×d
+// cells that covers all points. It returns an error for an empty point set.
+func SquareDomain(points []geom.Point, d int) (Domain, error) {
+	if len(points) == 0 {
+		return Domain{}, fmt.Errorf("grid: cannot fit a domain to zero points")
+	}
+	minX, minY := points[0].X, points[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range points[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	side := math.Max(maxX-minX, maxY-minY)
+	if side == 0 {
+		side = 1 // all points identical: any positive side works
+	}
+	return NewDomain(minX, minY, side, d)
+}
+
+// CellSize returns the side length g of one grid cell.
+func (dom Domain) CellSize() float64 { return dom.Side / float64(dom.D) }
+
+// NumCells returns the number of cells d².
+func (dom Domain) NumCells() int { return dom.D * dom.D }
+
+// CellOf maps a continuous point to its grid cell, clamping points on or
+// beyond the domain border into the border cells (points exactly on the
+// maximum edge belong to the last cell).
+func (dom Domain) CellOf(p geom.Point) geom.Cell {
+	g := dom.CellSize()
+	x := int(math.Floor((p.X - dom.MinX) / g))
+	y := int(math.Floor((p.Y - dom.MinY) / g))
+	return geom.Cell{X: clampInt(x, 0, dom.D-1), Y: clampInt(y, 0, dom.D-1)}
+}
+
+// CellCenter returns the continuous coordinates of a cell's centre.
+func (dom Domain) CellCenter(c geom.Cell) geom.Point {
+	g := dom.CellSize()
+	return geom.Point{
+		X: dom.MinX + (float64(c.X)+0.5)*g,
+		Y: dom.MinY + (float64(c.Y)+0.5)*g,
+	}
+}
+
+// Index flattens a cell to a row-major index in [0, d²).
+func (dom Domain) Index(c geom.Cell) int { return c.Y*dom.D + c.X }
+
+// CellAt inverts Index.
+func (dom Domain) CellAt(idx int) geom.Cell {
+	return geom.Cell{X: idx % dom.D, Y: idx / dom.D}
+}
+
+// Contains reports whether the cell lies inside the grid.
+func (dom Domain) Contains(c geom.Cell) bool {
+	return c.X >= 0 && c.X < dom.D && c.Y >= 0 && c.Y < dom.D
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,251 @@
+package mdsw
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+func testDomain(t *testing.T, d int) grid.Domain {
+	t.Helper()
+	dom, err := grid.NewDomain(0, 0, float64(d), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom
+}
+
+func TestSWWaveWidthKnownValues(t *testing.T) {
+	// ε→0 limit is 1/2; b decreases with ε and tends to 0.
+	b, err := SWWaveWidth(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.5) > 1e-3 {
+		t.Fatalf("small-eps b = %v, want 0.5", b)
+	}
+	prev := b
+	for _, eps := range []float64{0.5, 1, 2, 4, 8} {
+		b, err := SWWaveWidth(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b >= prev {
+			t.Fatalf("b(%v)=%v not decreasing from %v", eps, b, prev)
+		}
+		prev = b
+	}
+	if prev > 0.05 {
+		t.Fatalf("large-eps b = %v, want near 0", prev)
+	}
+}
+
+func TestSWWaveWidthErrors(t *testing.T) {
+	if _, err := SWWaveWidth(0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := SWWaveWidth(math.Inf(1)); err == nil {
+		t.Fatal("eps=Inf accepted")
+	}
+}
+
+func TestSWChannelRowStochastic(t *testing.T) {
+	for _, d := range []int{1, 4, 16} {
+		for _, eps := range []float64{0.35, 1.75, 4} {
+			s, err := NewSW(d, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Channel().Validate(); err != nil {
+				t.Fatalf("d=%d eps=%v: %v", d, eps, err)
+			}
+		}
+	}
+}
+
+func TestSWSatisfiesLDP(t *testing.T) {
+	for _, d := range []int{4, 10} {
+		for _, eps := range []float64{0.35, 1.75, 3} {
+			s, err := NewSW(d, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := s.Channel().MaxRatio()
+			// Bucket-level integration can only average densities, so the
+			// worst-case ratio is at most e^ε (plus normalisation slack).
+			if ratio > math.Exp(eps)*(1+1e-6) {
+				t.Fatalf("d=%d eps=%v: ratio %v > e^ε %v", d, eps, ratio, math.Exp(eps))
+			}
+		}
+	}
+}
+
+func TestSWHighProbabilityNearTruth(t *testing.T) {
+	s, err := NewSW(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := s.Channel()
+	// Output bucket aligned with the true bucket must outweigh a distant
+	// bucket.
+	in := 5
+	near := ch.At(in, in+s.pad)
+	far := ch.At(in, s.pad) // bucket 0
+	if near <= far {
+		t.Fatalf("near prob %v not above far prob %v", near, far)
+	}
+}
+
+func TestSWPerturbMatchesChannel(t *testing.T) {
+	s, err := NewSW(6, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const trials = 100000
+	counts := make([]float64, s.NumOutputs())
+	for i := 0; i < trials; i++ {
+		counts[s.Perturb(3, r)]++
+	}
+	for j := range counts {
+		want := s.Channel().At(3, j)
+		if math.Abs(counts[j]/trials-want) > 0.01 {
+			t.Fatalf("output %d freq %v, want %v", j, counts[j]/trials, want)
+		}
+	}
+}
+
+func TestSWEstimateRecoversDistribution(t *testing.T) {
+	s, err := NewSW(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{0.02, 0.08, 0.2, 0.3, 0.2, 0.12, 0.05, 0.03}
+	r := rng.New(3)
+	counts := make([]float64, s.NumOutputs())
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.Perturb(rng.WeightedChoice(r, truth), r)]++
+	}
+	est, err := s.Estimate(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EMS trades a smoothing bias for variance, so allow a modest band.
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.08 {
+			t.Fatalf("estimate %v deviates from truth %v", est, truth)
+		}
+	}
+}
+
+func TestNewSWErrors(t *testing.T) {
+	if _, err := NewSW(0, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := NewSW(4, -1); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+}
+
+func TestMDSWEstimateIsProductDistribution(t *testing.T) {
+	dom := testDomain(t, 5)
+	m, err := NewMDSW(dom, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 1, Y: 1}, 3000)
+	truth.Set(geom.Cell{X: 3, Y: 3}, 3000)
+	est, err := m.EstimateHist(truth, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Total()-1) > 1e-9 {
+		t.Fatalf("estimate total %v", est.Total())
+	}
+	// A product distribution has rank 1: mass(x,y)·mass(x',y') =
+	// mass(x,y')·mass(x',y).
+	d := dom.D
+	for x := 0; x < d-1; x++ {
+		for y := 0; y < d-1; y++ {
+			lhs := est.Mass[y*d+x] * est.Mass[(y+1)*d+x+1]
+			rhs := est.Mass[y*d+x+1] * est.Mass[(y+1)*d+x]
+			if math.Abs(lhs-rhs) > 1e-12 {
+				t.Fatalf("estimate is not rank-1 at (%d,%d): %v vs %v", x, y, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestMDSWLosesCorrelationButKeepsMarginals(t *testing.T) {
+	// Diagonal truth: MDSW must recover both marginals (≈ uniform along
+	// each axis) but cannot recover the diagonal correlation — the defining
+	// failure mode the paper exploits.
+	dom := testDomain(t, 4)
+	m, err := NewMDSW(dom, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	for i := 0; i < 4; i++ {
+		truth.Set(geom.Cell{X: i, Y: i}, 20000)
+	}
+	est, err := m.EstimateHist(truth, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := est.MarginalX()
+	for i, v := range mx {
+		if math.Abs(v-0.25) > 0.05 {
+			t.Fatalf("marginal X[%d] = %v, want ≈0.25", i, v)
+		}
+	}
+	// Diagonal mass of the product estimate ≈ Σ 1/16 per diagonal cell =
+	// 0.25, far below the true 1.0.
+	diag := 0.0
+	for i := 0; i < 4; i++ {
+		diag += est.At(geom.Cell{X: i, Y: i})
+	}
+	if diag > 0.5 {
+		t.Fatalf("product estimate kept diagonal correlation: %v", diag)
+	}
+}
+
+func TestMDSWErrors(t *testing.T) {
+	dom := testDomain(t, 3)
+	if _, err := NewMDSW(dom, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	m, err := NewMDSW(dom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := grid.NewHist(testDomain(t, 4))
+	if _, err := m.EstimateHist(other, rng.New(1)); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+	bad := grid.NewHist(dom)
+	bad.Mass[0] = -2
+	if _, err := m.EstimateHist(bad, rng.New(1)); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestMDSWPerturbInRange(t *testing.T) {
+	dom := testDomain(t, 6)
+	m, err := NewMDSW(dom, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for i := 0; i < 1000; i++ {
+		rep := m.Perturb(r.Intn(dom.NumCells()), r)
+		if rep.X < 0 || rep.X >= m.swx.NumOutputs() || rep.Y < 0 || rep.Y >= m.swy.NumOutputs() {
+			t.Fatalf("report %v out of range", rep)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package privacy provides the budget accounting every deployment of
+// these mechanisms needs but papers leave implicit: sequential and
+// parallel composition of ε-LDP releases per user, with hard budget caps.
+//
+// Composition rules (pure LDP):
+//   - sequential: releases about the same user's datum add their budgets;
+//   - parallel: releases over disjoint sub-populations cost the maximum
+//     of their budgets (each user participates in one).
+//
+// MDSW's per-dimension split and LDPTrace's three-way split are instances
+// of sequential composition; AHEAD's level partitioning is parallel
+// composition. The Accountant makes those costs explicit and enforceable.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Accountant tracks ε-LDP spending against a total budget. It is safe
+// for concurrent use.
+type Accountant struct {
+	mu     sync.Mutex
+	budget float64
+	spends []Spend
+}
+
+// Spend is one recorded release.
+type Spend struct {
+	Label string
+	Eps   float64
+}
+
+// NewAccountant creates an accountant with the given total budget.
+func NewAccountant(budget float64) (*Accountant, error) {
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("privacy: invalid budget %v", budget)
+	}
+	return &Accountant{budget: budget}, nil
+}
+
+// Budget returns the total budget.
+func (a *Accountant) Budget() float64 {
+	return a.budget
+}
+
+// Spent returns the sequentially composed total spent so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spentLocked()
+}
+
+func (a *Accountant) spentLocked() float64 {
+	total := 0.0
+	for _, s := range a.spends {
+		total += s.Eps
+	}
+	return total
+}
+
+// Remaining returns the unspent budget.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget - a.spentLocked()
+}
+
+// Charge records a sequential release of eps, failing when it would
+// exceed the budget.
+func (a *Accountant) Charge(label string, eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("privacy: invalid spend %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spentLocked()+eps > a.budget+1e-12 {
+		return fmt.Errorf("privacy: spend %q (%v) exceeds remaining budget %v",
+			label, eps, a.budget-a.spentLocked())
+	}
+	a.spends = append(a.spends, Spend{Label: label, Eps: eps})
+	return nil
+}
+
+// ChargeParallel records a set of releases over disjoint sub-populations:
+// the composed cost is the maximum of the branch budgets.
+func (a *Accountant) ChargeParallel(label string, branches []float64) error {
+	if len(branches) == 0 {
+		return fmt.Errorf("privacy: no parallel branches")
+	}
+	maxEps := 0.0
+	for i, e := range branches {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("privacy: invalid branch %d spend %v", i, e)
+		}
+		if e > maxEps {
+			maxEps = e
+		}
+	}
+	return a.Charge(label, maxEps)
+}
+
+// Split divides an ε budget into n equal sequential shares — the helper
+// MDSW (n=2) and LDPTrace (n=3) use.
+func Split(eps float64, n int) ([]float64, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("privacy: invalid budget %v", eps)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("privacy: invalid share count %d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = eps / float64(n)
+	}
+	return out, nil
+}
+
+// Ledger returns the recorded spends sorted by label (copy).
+func (a *Accountant) Ledger() []Spend {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Spend, len(a.spends))
+	copy(out, a.spends)
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}

@@ -1,0 +1,128 @@
+package privacy
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestChargeSequentialComposition(t *testing.T) {
+	a, err := NewAccountant(3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge("x-dim", 1.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge("y-dim", 1.75); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("spent %v", got)
+	}
+	if err := a.Charge("extra", 0.1); err == nil {
+		t.Fatal("over-budget spend accepted")
+	}
+	if got := a.Remaining(); math.Abs(got) > 1e-9 {
+		t.Fatalf("remaining %v", got)
+	}
+}
+
+func TestChargeParallelTakesMax(t *testing.T) {
+	a, err := NewAccountant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ChargeParallel("levels", []float64{1.5, 1.5, 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("parallel composition spent %v, want 1.5", got)
+	}
+}
+
+func TestChargeValidation(t *testing.T) {
+	a, _ := NewAccountant(1)
+	if err := a.Charge("bad", 0); err == nil {
+		t.Fatal("zero spend accepted")
+	}
+	if err := a.Charge("bad", math.NaN()); err == nil {
+		t.Fatal("NaN spend accepted")
+	}
+	if err := a.ChargeParallel("bad", nil); err == nil {
+		t.Fatal("empty parallel branches accepted")
+	}
+	if err := a.ChargeParallel("bad", []float64{1, -1}); err == nil {
+		t.Fatal("negative branch accepted")
+	}
+	if _, err := NewAccountant(0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewAccountant(math.Inf(1)); err == nil {
+		t.Fatal("infinite budget accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	shares, err := Split(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 3 || math.Abs(shares[0]-1) > 1e-12 {
+		t.Fatalf("shares %v", shares)
+	}
+	total := 0.0
+	for _, s := range shares {
+		total += s
+	}
+	if math.Abs(total-3) > 1e-12 {
+		t.Fatalf("shares lose budget: %v", total)
+	}
+	if _, err := Split(0, 2); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := Split(1, 0); err == nil {
+		t.Fatal("zero shares accepted")
+	}
+}
+
+func TestLedgerSortedCopy(t *testing.T) {
+	a, _ := NewAccountant(10)
+	_ = a.Charge("zeta", 1)
+	_ = a.Charge("alpha", 2)
+	ledger := a.Ledger()
+	if len(ledger) != 2 || ledger[0].Label != "alpha" || ledger[1].Label != "zeta" {
+		t.Fatalf("ledger %v", ledger)
+	}
+	ledger[0].Eps = 99
+	if a.Ledger()[0].Eps == 99 {
+		t.Fatal("ledger not a copy")
+	}
+}
+
+func TestConcurrentChargesNeverExceedBudget(t *testing.T) {
+	a, _ := NewAccountant(1)
+	var wg sync.WaitGroup
+	successes := make(chan struct{}, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Charge("worker", 0.1); err == nil {
+				successes <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(successes)
+	n := 0
+	for range successes {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("%d charges of 0.1 succeeded against budget 1", n)
+	}
+	if a.Spent() > 1+1e-9 {
+		t.Fatalf("spent %v exceeds budget", a.Spent())
+	}
+}

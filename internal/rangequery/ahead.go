@@ -1,0 +1,256 @@
+package rangequery
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/fo"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+// AHEAD is an adaptive-hierarchical-decomposition estimator in the style
+// of Du et al. (CCS 2021), built on the quadtree: the user population is
+// split evenly across hierarchy levels, each user reports the id of their
+// ancestor node at the assigned level through OUE under the full ε (user
+// partitioning, not budget splitting), and the per-level estimates are
+// reconciled by inverse-variance weighted averaging bottom-up followed by
+// a top-down consistency adjustment (Hay-style), so every parent equals
+// the sum of its children.
+//
+// It answers range queries through the quadtree cover, which is where the
+// hierarchy beats flat frequency oracles: a large rectangle is a handful
+// of high-level nodes instead of hundreds of noisy cells.
+//
+// Because the quadtree of a non-power-of-two grid has leaves at different
+// depths, "level ℓ" means the frontier at depth ℓ: nodes at depth ℓ plus
+// any leaf that bottomed out earlier. A shallow leaf can therefore
+// receive estimates from several levels; they are merged by inverse-
+// variance weighting.
+type AHEAD struct {
+	dom grid.Domain
+	eps float64
+}
+
+// NewAHEAD builds the estimator.
+func NewAHEAD(dom grid.Domain, eps float64) (*AHEAD, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("rangequery: invalid epsilon %v", eps)
+	}
+	return &AHEAD{dom: dom, eps: eps}, nil
+}
+
+// Name returns the estimator's display name.
+func (a *AHEAD) Name() string { return "AHEAD" }
+
+// estimateEntry is one level's noisy view of a node.
+type estimateEntry struct {
+	value    float64
+	variance float64
+}
+
+// EstimateTree collects the noisy hierarchy from a true count histogram
+// and returns a consistent quadtree of estimated counts plus the implied
+// leaf histogram (leaf values clipped at zero).
+func (a *AHEAD) EstimateTree(truth *grid.Hist2D, r *rng.RNG) (*Quadtree, *grid.Hist2D, error) {
+	if truth.Dom.D != a.dom.D {
+		return nil, nil, fmt.Errorf("rangequery: histogram d=%d, estimator d=%d", truth.Dom.D, a.dom.D)
+	}
+	tree := BuildQuadtree(truth) // structure; values rewritten below
+	levels := tree.Levels
+	if levels < 2 {
+		return tree, truth.Clone(), nil
+	}
+
+	type levelInfo struct {
+		nodes   []*Node
+		byCell  []int
+		support []float64
+		oracle  *fo.OUE
+		users   float64
+	}
+	infos := make([]levelInfo, levels)
+	for l := 1; l < levels; l++ {
+		nodes := tree.Frontier(l)
+		byCell := make([]int, a.dom.NumCells())
+		for pos, n := range nodes {
+			for y := n.Y0; y <= n.Y1; y++ {
+				for x := n.X0; x <= n.X1; x++ {
+					byCell[y*a.dom.D+x] = pos
+				}
+			}
+		}
+		oue, err := fo.NewOUE(maxInt(2, len(nodes)), a.eps)
+		if err != nil {
+			return nil, nil, err
+		}
+		infos[l] = levelInfo{
+			nodes:   nodes,
+			byCell:  byCell,
+			support: make([]float64, oue.NumCategories()),
+			oracle:  oue,
+		}
+	}
+
+	// Collect: each user lands on a uniformly random level 1..levels-1
+	// and reports their frontier node there.
+	totalUsers := 0.0
+	for cell, cnt := range truth.Mass {
+		if cnt < 0 || cnt != math.Trunc(cnt) {
+			return nil, nil, fmt.Errorf("rangequery: invalid count %v at cell %d", cnt, cell)
+		}
+		for k := 0; k < int(cnt); k++ {
+			totalUsers++
+			info := &infos[1+r.Intn(levels-1)]
+			bits := info.oracle.PerturbBits(info.byCell[cell], r)
+			if err := info.oracle.AccumulateBits(bits, info.support); err != nil {
+				return nil, nil, err
+			}
+			info.users++
+		}
+	}
+	if totalUsers == 0 {
+		return nil, nil, fmt.Errorf("rangequery: no users")
+	}
+
+	// Per-level unbiased estimates (count units) with OUE variance
+	// 4e^ε/(n_ℓ(e^ε−1)²) per frequency, appended to each node's list.
+	entries := map[*Node][]estimateEntry{}
+	ee := math.Exp(a.eps)
+	for l := 1; l < levels; l++ {
+		info := &infos[l]
+		if info.users == 0 {
+			continue
+		}
+		freqs, err := info.oracle.EstimateBits(info.support, info.users)
+		if err != nil {
+			return nil, nil, err
+		}
+		varCount := 4 * ee / (info.users * (ee - 1) * (ee - 1)) * totalUsers * totalUsers
+		for pos, n := range info.nodes {
+			entries[n] = append(entries[n], estimateEntry{
+				value:    freqs[pos] * totalUsers,
+				variance: varCount,
+			})
+		}
+	}
+
+	// Bottom-up: each node's own entries merge by inverse variance, then
+	// combine with the children's reconciled sum.
+	est := map[*Node]float64{}
+	variance := map[*Node]float64{}
+	var up func(n *Node) (float64, float64)
+	up = func(n *Node) (float64, float64) {
+		own, ownVar := mergeEntries(entries[n])
+		if n.isLeaf() {
+			if math.IsInf(ownVar, 1) {
+				// No level saw this leaf (possible only when every user
+				// missed its levels): fall back to zero with huge
+				// variance so siblings dominate.
+				own = 0
+			}
+			est[n], variance[n] = own, ownVar
+			return own, ownVar
+		}
+		var childSum, childVar float64
+		for _, c := range n.Children {
+			v, cv := up(c)
+			childSum += v
+			childVar += cv
+		}
+		val, vr := combineTwo(own, ownVar, childSum, childVar)
+		est[n], variance[n] = val, vr
+		return val, vr
+	}
+	up(tree.Root)
+	est[tree.Root] = totalUsers // the population size is public
+
+	// Top-down consistency: distribute parent-child mismatch evenly.
+	var down func(n *Node)
+	down = func(n *Node) {
+		if n.isLeaf() {
+			return
+		}
+		childSum := 0.0
+		for _, c := range n.Children {
+			childSum += est[c]
+		}
+		adj := (est[n] - childSum) / float64(len(n.Children))
+		for _, c := range n.Children {
+			est[c] += adj
+			down(c)
+		}
+	}
+	down(tree.Root)
+
+	var write func(n *Node)
+	write = func(n *Node) {
+		n.Value = est[n]
+		for _, c := range n.Children {
+			write(c)
+		}
+	}
+	write(tree.Root)
+
+	leafHist := grid.NewHist(a.dom)
+	for _, n := range tree.Leaves() {
+		v := est[n]
+		if v < 0 {
+			v = 0
+		}
+		for y := n.Y0; y <= n.Y1; y++ {
+			for x := n.X0; x <= n.X1; x++ {
+				leafHist.Mass[y*a.dom.D+x] = v
+			}
+		}
+	}
+	return tree, leafHist, nil
+}
+
+// mergeEntries inverse-variance averages a node's per-level estimates;
+// an empty list yields (0, +Inf).
+func mergeEntries(es []estimateEntry) (float64, float64) {
+	if len(es) == 0 {
+		return 0, math.Inf(1)
+	}
+	wSum, acc := 0.0, 0.0
+	for _, e := range es {
+		if e.variance <= 0 {
+			return e.value, 0
+		}
+		w := 1 / e.variance
+		wSum += w
+		acc += w * e.value
+	}
+	return acc / wSum, 1 / wSum
+}
+
+// combineTwo inverse-variance combines two estimates, tolerating infinite
+// variances (missing information).
+func combineTwo(a, av, b, bv float64) (float64, float64) {
+	switch {
+	case math.IsInf(av, 1) && math.IsInf(bv, 1):
+		return (a + b) / 2, av
+	case math.IsInf(av, 1):
+		return b, bv
+	case math.IsInf(bv, 1):
+		return a, av
+	case av == 0:
+		return a, 0
+	case bv == 0:
+		return b, 0
+	default:
+		wa, wb := 1/av, 1/bv
+		return (wa*a + wb*b) / (wa + wb), 1 / (wa + wb)
+	}
+}
+
+// EstimateHist satisfies the harness Estimator contract: it returns the
+// normalised leaf histogram.
+func (a *AHEAD) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	_, leaves, err := a.EstimateTree(truth, r)
+	if err != nil {
+		return nil, err
+	}
+	return leaves.Normalize(), nil
+}

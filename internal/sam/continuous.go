@@ -1,0 +1,117 @@
+// Package sam implements the paper's core contribution: the Spatial Area
+// Mechanism framework (Definition 4) and its instances — the Disk Area
+// Mechanism (DAM, Definition 8, proved optimal in Theorem V.2), the Hybrid
+// Uniform-Exponential Mechanism (HUEM, Definition 5), and the non-shrunken
+// variant DAM-NS — together with the optimal-radius selection of Section
+// V-C and the grid discretisation with border shrinkage of Section VI
+// (Algorithms 1 and 2).
+package sam
+
+import (
+	"fmt"
+	"math"
+)
+
+// DAMProbabilities returns the continuous DAM densities of Definition 8:
+// p = e^ε / (πb²e^ε + 4b + 1) inside the disk of radius b and
+// q = 1 / (πb²e^ε + 4b + 1) outside, for a unit-square input domain.
+func DAMProbabilities(eps, b float64) (p, q float64, err error) {
+	if err := checkEpsB(eps, b); err != nil {
+		return 0, 0, err
+	}
+	ee := math.Exp(eps)
+	den := math.Pi*b*b*ee + 4*b + 1
+	return ee / den, 1 / den, nil
+}
+
+// HUEMQ returns the continuous HUEM base density of Definition 5:
+// q = ε² / (2π(e^ε−1−ε)b² + 4ε²b + ε²).
+func HUEMQ(eps, b float64) (float64, error) {
+	if err := checkEpsB(eps, b); err != nil {
+		return 0, err
+	}
+	e2 := eps * eps
+	den := 2*math.Pi*(math.Exp(eps)-1-eps)*b*b + 4*e2*b + e2
+	return e2 / den, nil
+}
+
+// HUEMWave evaluates HUEM's wave function W(z) of Definition 5 at distance
+// r from the true point: q·e^{(1−r/b)ε} inside the disk, q outside.
+func HUEMWave(eps, b, r float64) (float64, error) {
+	q, err := HUEMQ(eps, b)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("sam: negative distance %v", r)
+	}
+	if r <= b {
+		return q * math.Exp((1-r/b)*eps), nil
+	}
+	return q, nil
+}
+
+func checkEpsB(eps, b float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("sam: invalid epsilon %v", eps)
+	}
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		return fmt.Errorf("sam: invalid radius %v", b)
+	}
+	return nil
+}
+
+// OptimalB returns the radius b̌ of Section V-C that maximises the mutual-
+// information upper bound for an input square of side L:
+//
+//	b̌ = (2m₂ + √(4m₂² + πe^ε·m₁·m₂)) / (πe^ε·m₁) · L
+//
+// with m₁ = e^ε−1−ε and m₂ = 1−e^ε+εe^ε. As ε→0 this tends to
+// (2+√(4+π))/π · L and as ε→∞ it tends to 0.
+func OptimalB(eps, L float64) (float64, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return 0, fmt.Errorf("sam: invalid epsilon %v", eps)
+	}
+	if L <= 0 || math.IsNaN(L) || math.IsInf(L, 0) {
+		return 0, fmt.Errorf("sam: invalid side length %v", L)
+	}
+	ee := math.Exp(eps)
+	m1 := ee - 1 - eps
+	m2 := 1 - ee + eps*ee
+	if m1 <= 0 || m2 <= 0 {
+		// Only possible through floating-point underflow at tiny ε; fall
+		// back to the ε→0 limit.
+		return (2 + math.Sqrt(4+math.Pi)) / math.Pi * L, nil
+	}
+	num := 2*m2 + math.Sqrt(4*m2*m2+math.Pi*ee*m1*m2)
+	return num / (math.Pi * ee * m1) * L, nil
+}
+
+// MutualInfoBound evaluates g(b), the mutual-information upper bound of
+// Equation (11) for a side-L input square, in bits. OptimalB maximises
+// this function; the tests verify that numerically.
+func MutualInfoBound(eps, b, L float64) (float64, error) {
+	if err := checkEpsB(eps, b); err != nil {
+		return 0, err
+	}
+	if L <= 0 {
+		return 0, fmt.Errorf("sam: invalid side length %v", L)
+	}
+	ee := math.Exp(eps)
+	area := math.Pi*b*b + 4*L*b + L*L
+	areaE := math.Pi*b*b*ee + 4*L*b + L*L
+	return math.Log2(area/areaE) + math.Pi*b*b*ee*eps*math.Log2(math.E)/areaE, nil
+}
+
+// BHat returns the discrete high-probability radius b̂ = ⌊b̌⌋ in cell units
+// for a d×d grid (the paper measures b̌ in cell units by setting L = d).
+func BHat(eps float64, d int) (int, error) {
+	if d < 1 {
+		return 0, fmt.Errorf("sam: invalid grid size %d", d)
+	}
+	b, err := OptimalB(eps, float64(d))
+	if err != nil {
+		return 0, err
+	}
+	return int(math.Floor(b)), nil
+}

@@ -1,0 +1,177 @@
+package sam
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/rng"
+)
+
+// ContinuousSampler draws reports from the *continuous* SAM mechanisms of
+// Sections IV–V over the unit-square input domain: the output domain is
+// the rounded square D̃ (the unit square dilated by radius b, Figure 2),
+// and the report density is the mechanism's wave function around the true
+// point.
+type ContinuousSampler struct {
+	eps  float64
+	b    float64
+	huem bool
+
+	diskMass float64 // probability of reporting inside the disk
+}
+
+// NewContinuousDAM builds a sampler for continuous DAM (Definition 8)
+// with the given budget over a unit-square domain; b ≤ 0 selects the
+// optimal b̌.
+func NewContinuousDAM(eps, b float64) (*ContinuousSampler, error) {
+	return newContinuous(eps, b, false)
+}
+
+// NewContinuousHUEM builds a sampler for continuous HUEM (Definition 5).
+func NewContinuousHUEM(eps, b float64) (*ContinuousSampler, error) {
+	return newContinuous(eps, b, true)
+}
+
+func newContinuous(eps, b float64, huem bool) (*ContinuousSampler, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("sam: invalid epsilon %v", eps)
+	}
+	if b <= 0 {
+		var err error
+		b, err = OptimalB(eps, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &ContinuousSampler{eps: eps, b: b, huem: huem}
+	if huem {
+		q, err := HUEMQ(eps, b)
+		if err != nil {
+			return nil, err
+		}
+		// Disk mass = 1 − (4b+1)q by Definition 5's normalisation.
+		s.diskMass = 1 - (4*b+1)*q
+	} else {
+		p, _, err := DAMProbabilities(eps, b)
+		if err != nil {
+			return nil, err
+		}
+		s.diskMass = math.Pi * b * b * p
+	}
+	if s.diskMass < 0 || s.diskMass > 1 {
+		return nil, fmt.Errorf("sam: degenerate disk mass %v", s.diskMass)
+	}
+	return s, nil
+}
+
+// Epsilon returns the privacy budget.
+func (s *ContinuousSampler) Epsilon() float64 { return s.eps }
+
+// Radius returns the high-probability radius b.
+func (s *ContinuousSampler) Radius() float64 { return s.b }
+
+// DiskMass returns the probability that a report lands inside the disk
+// around the true point.
+func (s *ContinuousSampler) DiskMass() float64 { return s.diskMass }
+
+// Sample draws one continuous report for the true point v ∈ [0,1]².
+func (s *ContinuousSampler) Sample(v geom.Point, r *rng.RNG) (geom.Point, error) {
+	if v.X < 0 || v.X > 1 || v.Y < 0 || v.Y > 1 {
+		return geom.Point{}, fmt.Errorf("sam: point %v outside the unit square", v)
+	}
+	if r.Float64() < s.diskMass {
+		return s.sampleDisk(v, r), nil
+	}
+	// Low region: uniform over D̃ minus the disk, by rejection from the
+	// rounded square (the disk occupies πb²/(1+4b+πb²) of it, so the
+	// expected retry count is small for every b).
+	for {
+		p := s.sampleRoundedSquare(r)
+		if p.Dist(v) > s.b {
+			return p, nil
+		}
+	}
+}
+
+// sampleDisk draws from the wave function restricted to the disk around
+// v: uniform for DAM; density ∝ e^{−εr/b} (radially) for HUEM, drawn by
+// rejection against the uniform disk with acceptance e^{−εr/b}.
+func (s *ContinuousSampler) sampleDisk(v geom.Point, r *rng.RNG) geom.Point {
+	for {
+		// Uniform point in the disk via radius = b√u.
+		rad := s.b * math.Sqrt(r.Float64())
+		theta := 2 * math.Pi * r.Float64()
+		if s.huem && r.Float64() >= math.Exp(-s.eps*rad/s.b) {
+			continue
+		}
+		return geom.Point{
+			X: v.X + rad*math.Cos(theta),
+			Y: v.Y + rad*math.Sin(theta),
+		}
+	}
+}
+
+// sampleRoundedSquare draws uniformly from the rounded square D̃: the
+// unit square, four b×1 side rectangles and four quarter disks at the
+// corners, chosen proportionally to area.
+func (s *ContinuousSampler) sampleRoundedSquare(r *rng.RNG) geom.Point {
+	b := s.b
+	square := 1.0
+	side := b // each of the four 1×b side rectangles
+	corner := math.Pi * b * b / 4
+	total := square + 4*side + 4*corner
+	u := r.Float64() * total
+	switch {
+	case u < square:
+		return geom.Point{X: r.Float64(), Y: r.Float64()}
+	case u < square+4*side:
+		k := int((u - square) / side)
+		along := r.Float64()
+		off := r.Float64() * b
+		switch k {
+		case 0: // bottom
+			return geom.Point{X: along, Y: -off}
+		case 1: // top
+			return geom.Point{X: along, Y: 1 + off}
+		case 2: // left
+			return geom.Point{X: -off, Y: along}
+		default: // right
+			return geom.Point{X: 1 + off, Y: along}
+		}
+	default:
+		k := int((u - square - 4*side) / corner)
+		// Uniform point in a quarter disk around the corner.
+		rad := b * math.Sqrt(r.Float64())
+		theta := math.Pi / 2 * r.Float64()
+		dx := rad * math.Cos(theta)
+		dy := rad * math.Sin(theta)
+		switch k {
+		case 0:
+			return geom.Point{X: -dx, Y: -dy} // around (0,0)
+		case 1:
+			return geom.Point{X: 1 + dx, Y: -dy} // around (1,0)
+		case 2:
+			return geom.Point{X: -dx, Y: 1 + dy} // around (0,1)
+		default:
+			return geom.Point{X: 1 + dx, Y: 1 + dy} // around (1,1)
+		}
+	}
+}
+
+// InOutputDomain reports whether a point lies in the rounded square D̃.
+func (s *ContinuousSampler) InOutputDomain(p geom.Point) bool {
+	cx := clampF(p.X, 0, 1)
+	cy := clampF(p.Y, 0, 1)
+	return p.Dist(geom.Point{X: cx, Y: cy}) <= s.b+1e-12
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+package sam
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/rng"
+)
+
+func TestContinuousDAMDiskMass(t *testing.T) {
+	s, err := NewContinuousDAM(3.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := DAMProbabilities(3.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pi * 0.2 * 0.2 * p
+	if math.Abs(s.DiskMass()-want) > 1e-12 {
+		t.Fatalf("disk mass %v, want %v", s.DiskMass(), want)
+	}
+}
+
+func TestContinuousSampleInOutputDomain(t *testing.T) {
+	for _, huem := range []bool{false, true} {
+		s, err := newContinuous(2, 0.3, huem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(1)
+		v := geom.Point{X: 0.4, Y: 0.6}
+		for i := 0; i < 20000; i++ {
+			p, err := s.Sample(v, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.InOutputDomain(p) {
+				t.Fatalf("huem=%v: sample %v outside D̃", huem, p)
+			}
+		}
+	}
+}
+
+func TestContinuousSampleRejectsOutsideInput(t *testing.T) {
+	s, err := NewContinuousDAM(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(geom.Point{X: 1.5, Y: 0}, rng.New(1)); err == nil {
+		t.Fatal("out-of-domain input accepted")
+	}
+}
+
+func TestContinuousDAMEmpiricalDiskFraction(t *testing.T) {
+	s, err := NewContinuousDAM(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	v := geom.Point{X: 0.5, Y: 0.5}
+	const n = 200000
+	inside := 0
+	for i := 0; i < n; i++ {
+		p, err := s.Sample(v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Dist(v) <= s.Radius() {
+			inside++
+		}
+	}
+	got := float64(inside) / n
+	if math.Abs(got-s.DiskMass()) > 0.005 {
+		t.Fatalf("empirical disk fraction %v, want %v", got, s.DiskMass())
+	}
+}
+
+func TestContinuousDAMUniformInsideDisk(t *testing.T) {
+	// Within the disk, DAM's density is flat: the radius CDF of accepted
+	// in-disk samples must be r²/b².
+	s, err := NewContinuousDAM(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	v := geom.Point{X: 0.5, Y: 0.5}
+	const n = 100000
+	within := 0
+	halfway := 0
+	for i := 0; i < n; i++ {
+		p, err := s.Sample(v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p.Dist(v)
+		if d <= s.Radius() {
+			within++
+			if d <= s.Radius()/2 {
+				halfway++
+			}
+		}
+	}
+	got := float64(halfway) / float64(within)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("P(r ≤ b/2 | disk) = %v, want 0.25 for uniform density", got)
+	}
+}
+
+func TestContinuousHUEMConcentratesMoreThanDAM(t *testing.T) {
+	// HUEM's in-disk density decays with distance, so conditioned on the
+	// disk its reports sit closer to the truth than DAM's uniform disk.
+	const b = 0.3
+	medianInDiskDist := func(huem bool) float64 {
+		s, err := newContinuous(3, b, huem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(7)
+		v := geom.Point{X: 0.5, Y: 0.5}
+		var dists []float64
+		for i := 0; i < 50000; i++ {
+			p, err := s.Sample(v, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := p.Dist(v); d <= b {
+				dists = append(dists, d)
+			}
+		}
+		// Median via partial selection.
+		k := len(dists) / 2
+		for i := 0; i <= k; i++ {
+			minJ := i
+			for j := i + 1; j < len(dists); j++ {
+				if dists[j] < dists[minJ] {
+					minJ = j
+				}
+			}
+			dists[i], dists[minJ] = dists[minJ], dists[i]
+		}
+		return dists[k]
+	}
+	dam := medianInDiskDist(false)
+	huem := medianInDiskDist(true)
+	if huem >= dam {
+		t.Fatalf("HUEM median in-disk distance %v not below DAM %v", huem, dam)
+	}
+}
+
+func TestContinuousDefaultsToOptimalB(t *testing.T) {
+	s, err := NewContinuousDAM(2.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := OptimalB(2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Radius()-want) > 1e-12 {
+		t.Fatalf("default radius %v, want b̌ %v", s.Radius(), want)
+	}
+}
+
+func TestContinuousErrors(t *testing.T) {
+	if _, err := NewContinuousDAM(0, 1); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewContinuousHUEM(math.NaN(), 1); err == nil {
+		t.Fatal("NaN eps accepted")
+	}
+}
+
+func TestRoundedSquareSamplerUniformRegions(t *testing.T) {
+	// Region frequencies must match the area split of D̃.
+	s, err := NewContinuousDAM(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	const n = 300000
+	var inSquare, inSides, inCorners int
+	for i := 0; i < n; i++ {
+		p := s.sampleRoundedSquare(r)
+		switch {
+		case p.X >= 0 && p.X <= 1 && p.Y >= 0 && p.Y <= 1:
+			inSquare++
+		case (p.X >= 0 && p.X <= 1) || (p.Y >= 0 && p.Y <= 1):
+			inSides++
+		default:
+			inCorners++
+		}
+	}
+	b := 0.5
+	total := 1 + 4*b + math.Pi*b*b
+	for _, c := range []struct {
+		name string
+		got  int
+		want float64
+	}{
+		{"square", inSquare, 1 / total},
+		{"sides", inSides, 4 * b / total},
+		{"corners", inCorners, math.Pi * b * b / total},
+	} {
+		frac := float64(c.got) / n
+		if math.Abs(frac-c.want) > 0.005 {
+			t.Fatalf("%s fraction %v, want %v", c.name, frac, c.want)
+		}
+	}
+}

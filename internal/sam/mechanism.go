@@ -1,0 +1,345 @@
+package sam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpspatial/internal/em"
+	"dpspatial/internal/fo"
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+// Mechanism is a discretised Spatial Area Mechanism over a d×d grid: a
+// family of output distributions, one per input cell, that all share the
+// same offset weight profile (the wave function W of Definition 4) and the
+// same expanded output domain D̃ (the union of every input cell's disk
+// footprint — the discrete analogue of the rounded square of Figure 2).
+//
+// It implements the Frequency Oracle protocol: Perturb is
+// GridAreaResponse (Algorithm 2, realised by per-row alias sampling over
+// the exact channel) and Estimate is PostProcess (EM, Algorithm 1).
+type Mechanism struct {
+	name    string
+	dom     grid.Domain
+	eps     float64
+	bHat    int
+	offsets []weightedOffset // wave profile: relative weight w ∈ [1, e^ε]
+	out     []geom.Cell      // output domain D̃, deterministic order
+	outIdx  map[geom.Cell]int
+	pHat    float64 // probability of a unit cell at weight e^ε
+	qHat    float64 // probability of a unit cell at weight 1
+	channel *fo.Channel
+	smooth  bool
+}
+
+type weightedOffset struct {
+	off    geom.Cell
+	weight float64 // relative to q̂; in [1, e^ε]
+}
+
+// Option configures mechanism construction.
+type Option func(*config)
+
+type config struct {
+	bHat   *int
+	smooth bool
+}
+
+// WithBHat overrides the discrete radius b̂ (otherwise ⌊b̌⌋ from Section
+// V-C). Used by the Figure 8 radius sweep.
+func WithBHat(b int) Option {
+	return func(c *config) { c.bHat = &b }
+}
+
+// WithSmoothing enables 2-D EMS smoothing during post-processing.
+func WithSmoothing() Option {
+	return func(c *config) { c.smooth = true }
+}
+
+// NewDAM builds the discrete Disk Area Mechanism with border shrinkage
+// (Section VI).
+func NewDAM(dom grid.Domain, eps float64, opts ...Option) (*Mechanism, error) {
+	return build("DAM", dom, eps, damWeights(true), opts...)
+}
+
+// NewDAMNS builds DAM without shrinkage: border cells are classified
+// whole-cell by their centre (the DAM-NS baseline of Section VII-B).
+func NewDAMNS(dom grid.Domain, eps float64, opts ...Option) (*Mechanism, error) {
+	return build("DAM-NS", dom, eps, damWeights(false), opts...)
+}
+
+// NewHUEM builds the discrete Hybrid Uniform-Exponential Mechanism using
+// the fan-ring decomposition of Appendix A.
+func NewHUEM(dom grid.Domain, eps float64, opts ...Option) (*Mechanism, error) {
+	return build("HUEM", dom, eps, huemWeights, opts...)
+}
+
+// weightsFunc maps (ε, b̂) to the offset weight profile of a SAM instance.
+type weightsFunc func(eps float64, bHat int) []weightedOffset
+
+func damWeights(shrink bool) weightsFunc {
+	return func(eps float64, bHat int) []weightedOffset {
+		ee := math.Exp(eps)
+		var fp []geom.DiskCell
+		if shrink {
+			fp = geom.DiskFootprint(float64(bHat))
+		} else {
+			fp = geom.DiskFootprintNS(float64(bHat))
+		}
+		offs := make([]weightedOffset, 0, len(fp))
+		for _, c := range fp {
+			// A border cell reports at p̂ on its shrunken area and q̂ on
+			// the rest: its aggregate weight interpolates between 1 and
+			// e^ε, keeping ε-LDP (Section VI-A).
+			w := c.HighArea*ee + (1 - c.HighArea)
+			offs = append(offs, weightedOffset{off: c.Off, weight: w})
+		}
+		return offs
+	}
+}
+
+// huemWeights realises Appendix A: HUEM's disk is a union of b̂ fan rings;
+// ring κ (κ−1 < r ≤ κ) carries relative weight e^{ε(1−(κ−1)/b̂)}, and a
+// cell split by ring borders carries the area-weighted mixture of the
+// adjacent ring weights.
+func huemWeights(eps float64, bHat int) []weightedOffset {
+	if bHat == 0 {
+		return damWeights(true)(eps, 0)
+	}
+	// insideArea[κ][off]: fraction of the cell inside circle of radius κ.
+	type areaMap map[geom.Cell]float64
+	inside := make([]areaMap, bHat+1)
+	for k := 1; k <= bHat; k++ {
+		inside[k] = areaMap{}
+		for _, c := range geom.DiskFootprint(float64(k)) {
+			inside[k][c.Off] = c.HighArea
+		}
+	}
+	ringWeight := func(k int) float64 {
+		return math.Exp(eps * (1 - float64(k-1)/float64(bHat)))
+	}
+	offs := make([]weightedOffset, 0, len(inside[bHat]))
+	for off := range inside[bHat] {
+		w := 0.0
+		prev := 0.0
+		for k := 1; k <= bHat; k++ {
+			a := inside[k][off]
+			if a > prev {
+				w += (a - prev) * ringWeight(k)
+				prev = a
+			}
+		}
+		w += (1 - prev) * 1 // the part outside the disk reports at q̂
+		offs = append(offs, weightedOffset{off: off, weight: w})
+	}
+	return offs
+}
+
+func build(name string, dom grid.Domain, eps float64, wf weightsFunc, opts ...Option) (*Mechanism, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("sam: invalid epsilon %v", eps)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	bHat := 0
+	if cfg.bHat != nil {
+		bHat = *cfg.bHat
+		if bHat < 0 {
+			return nil, fmt.Errorf("sam: negative radius %d", bHat)
+		}
+	} else {
+		var err error
+		bHat, err = BHat(eps, dom.D)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := &Mechanism{name: name, dom: dom, eps: eps, bHat: bHat, smooth: cfg.smooth}
+	m.offsets = wf(eps, bHat)
+	sort.Slice(m.offsets, func(i, j int) bool {
+		a, b := m.offsets[i].off, m.offsets[j].off
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	ee := math.Exp(eps)
+	for _, wo := range m.offsets {
+		if wo.weight < 1-1e-9 || wo.weight > ee+1e-9 {
+			return nil, fmt.Errorf("sam: offset %v weight %v outside [1, e^ε]", wo.off, wo.weight)
+		}
+	}
+
+	m.buildOutputDomain()
+	if err := m.computeProbabilities(); err != nil {
+		return nil, err
+	}
+	m.buildChannel()
+	if err := m.channel.Validate(); err != nil {
+		return nil, fmt.Errorf("sam: internal channel invalid: %w", err)
+	}
+	return m, nil
+}
+
+// buildOutputDomain forms D̃ as the union of the footprint translated to
+// every input cell — the discrete rounded square.
+func (m *Mechanism) buildOutputDomain() {
+	seen := map[geom.Cell]bool{}
+	for y := 0; y < m.dom.D; y++ {
+		for x := 0; x < m.dom.D; x++ {
+			base := geom.Cell{X: x, Y: y}
+			for _, wo := range m.offsets {
+				seen[base.Add(wo.off)] = true
+			}
+		}
+	}
+	m.out = make([]geom.Cell, 0, len(seen))
+	for c := range seen {
+		m.out = append(m.out, c)
+	}
+	sort.Slice(m.out, func(i, j int) bool {
+		if m.out[i].Y != m.out[j].Y {
+			return m.out[i].Y < m.out[j].Y
+		}
+		return m.out[i].X < m.out[j].X
+	})
+	m.outIdx = make(map[geom.Cell]int, len(m.out))
+	for i, c := range m.out {
+		m.outIdx[c] = i
+	}
+}
+
+// computeProbabilities solves for q̂ from the normalisation
+// Σ_offsets w·q̂ + (|D̃| − |offsets|)·q̂ = 1, which is identical for every
+// input cell because each translated footprint lies fully inside D̃.
+func (m *Mechanism) computeProbabilities() error {
+	weightSum := 0.0
+	for _, wo := range m.offsets {
+		weightSum += wo.weight
+	}
+	lowCells := float64(len(m.out) - len(m.offsets))
+	if lowCells < 0 {
+		return fmt.Errorf("sam: footprint larger than output domain")
+	}
+	den := weightSum + lowCells
+	if den <= 0 {
+		return fmt.Errorf("sam: degenerate normalisation")
+	}
+	m.qHat = 1 / den
+	m.pHat = math.Exp(m.eps) * m.qHat
+	return nil
+}
+
+func (m *Mechanism) buildChannel() {
+	nIn := m.dom.NumCells()
+	nOut := len(m.out)
+	ch := fo.NewChannel(nIn, nOut)
+	for i := 0; i < nIn; i++ {
+		base := m.dom.CellAt(i)
+		row := ch.Row(i)
+		for j := range row {
+			row[j] = m.qHat
+		}
+		for _, wo := range m.offsets {
+			row[m.outIdx[base.Add(wo.off)]] = wo.weight * m.qHat
+		}
+	}
+	m.channel = ch
+}
+
+// Name returns the mechanism's display name.
+func (m *Mechanism) Name() string { return m.name }
+
+// Epsilon returns the privacy budget.
+func (m *Mechanism) Epsilon() float64 { return m.eps }
+
+// BHat returns the discrete high-probability radius in cell units.
+func (m *Mechanism) BHat() int { return m.bHat }
+
+// Domain returns the input grid domain.
+func (m *Mechanism) Domain() grid.Domain { return m.dom }
+
+// NumInputs returns d².
+func (m *Mechanism) NumInputs() int { return m.dom.NumCells() }
+
+// NumOutputs returns |D̃|.
+func (m *Mechanism) NumOutputs() int { return len(m.out) }
+
+// OutputCells returns the output domain in channel order (shared slice;
+// do not modify).
+func (m *Mechanism) OutputCells() []geom.Cell { return m.out }
+
+// PQ returns the discrete unit-cell probabilities (p̂, q̂).
+func (m *Mechanism) PQ() (float64, float64) { return m.pHat, m.qHat }
+
+// Channel returns the exact per-cell reporting channel (shared; treat as
+// read-only).
+func (m *Mechanism) Channel() *fo.Channel { return m.channel }
+
+// Samplers builds per-input-cell alias tables for O(1) perturbation.
+func (m *Mechanism) Samplers() ([]*rng.Alias, error) { return m.channel.Samplers() }
+
+// Perturb randomises one user's input cell index into an output cell
+// index (GridAreaResponse, Algorithm 2: the two-stage weighted sampling
+// over {pure-low, shrunken, complement, pure-high} collapses to one exact
+// categorical draw over the channel row). For bulk collection prefer
+// Samplers.
+func (m *Mechanism) Perturb(input int, r *rng.RNG) int {
+	return rng.WeightedChoice(r, m.channel.Row(input))
+}
+
+// Estimate recovers the normalised input distribution from output counts
+// via EM (PostProcess of Algorithm 1), with optional 2-D smoothing.
+func (m *Mechanism) Estimate(counts []float64) ([]float64, error) {
+	opts := &em.Options{}
+	if m.smooth {
+		opts.Smoothing = em.Smoother2D(m.dom.D)
+	}
+	return em.Estimate(m.channel, counts, opts)
+}
+
+// Collect simulates the full Algorithm 1 pipeline: every user in
+// trueCounts (per input cell) reports through the mechanism, and the
+// aggregated noisy counts are returned, indexed by output cell.
+func (m *Mechanism) Collect(trueCounts []float64, r *rng.RNG) ([]float64, error) {
+	if len(trueCounts) != m.NumInputs() {
+		return nil, fmt.Errorf("sam: %d true counts for %d cells", len(trueCounts), m.NumInputs())
+	}
+	samplers, err := m.Samplers()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.NumOutputs())
+	for i, c := range trueCounts {
+		if c < 0 || c != math.Trunc(c) {
+			return nil, fmt.Errorf("sam: invalid count %v at cell %d", c, i)
+		}
+		for k := 0; k < int(c); k++ {
+			out[samplers[i].Draw(r)]++
+		}
+	}
+	return out, nil
+}
+
+// EstimateHist runs Collect then Estimate and wraps the result as a
+// histogram over the input domain.
+func (m *Mechanism) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != m.dom.D {
+		return nil, fmt.Errorf("sam: histogram domain d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
+	}
+	noisy, err := m.Collect(truth.Mass, r)
+	if err != nil {
+		return nil, err
+	}
+	est, err := m.Estimate(noisy)
+	if err != nil {
+		return nil, err
+	}
+	return grid.HistFromMass(m.dom, est)
+}

@@ -1,0 +1,104 @@
+package sam
+
+import (
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+)
+
+func TestCollectParallelConservesUsers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDAM(dom, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 1, Y: 2}, 1234)
+	truth.Set(geom.Cell{X: 4, Y: 4}, 4321)
+	for _, workers := range []int{1, 2, 7, 0} {
+		noisy, err := m.CollectParallel(truth.Mass, 9, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, c := range noisy {
+			total += c
+		}
+		if total != 5555 {
+			t.Fatalf("workers=%d: collected %v, want 5555", workers, total)
+		}
+	}
+}
+
+func TestCollectParallelDeterministicPerSeedAndWorkers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDAM(dom, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 2, Y: 2}, 2000)
+	a, err := m.CollectParallel(truth.Mass, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.CollectParallel(truth.Mass, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed and worker count diverged")
+		}
+	}
+}
+
+func TestCollectParallelStatisticallyMatchesChannel(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDAM(dom, 2, WithBHat(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, m.NumInputs())
+	in := dom.Index(geom.Cell{X: 2, Y: 2})
+	truth[in] = 200000
+	noisy, err := m.CollectParallel(truth, 13, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range noisy {
+		want := m.Channel().At(in, j) * 200000
+		if diff := c - want; diff > 5*(want+100) || diff < -0.5*want-500 {
+			t.Fatalf("output %d count %v, expected ≈%v", j, c, want)
+		}
+	}
+}
+
+func TestCollectParallelRejectsInvalid(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDAM(dom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CollectParallel(make([]float64, 2), 1, 2); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	bad := make([]float64, m.NumInputs())
+	bad[0] = -1
+	if _, err := m.CollectParallel(bad, 1, 2); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}

@@ -1,0 +1,276 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/rng"
+)
+
+func TestNormalMomentsAndCorrelation(t *testing.T) {
+	r := rng.New(1)
+	pts, err := Normal(r, 100000, 0, 0, 1, 1, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		syy += p.Y * p.Y
+		sxy += p.X * p.Y
+	}
+	n := float64(len(pts))
+	mx, my := sx/n, sy/n
+	vx, vy := sxx/n-mx*mx, syy/n-my*my
+	cov := sxy/n - mx*my
+	if math.Abs(mx) > 0.02 || math.Abs(my) > 0.02 {
+		t.Fatalf("means (%v, %v) too far from 0", mx, my)
+	}
+	if math.Abs(vx-1) > 0.05 || math.Abs(vy-1) > 0.05 {
+		t.Fatalf("variances (%v, %v) too far from 1", vx, vy)
+	}
+	if rho := cov / math.Sqrt(vx*vy); math.Abs(rho-0.5) > 0.03 {
+		t.Fatalf("correlation %v, want 0.5", rho)
+	}
+}
+
+func TestNormalRespectsClip(t *testing.T) {
+	r := rng.New(2)
+	pts, err := Normal(r, 20000, 0, 0, 2, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if math.Abs(p.X) >= 3 || math.Abs(p.Y) >= 3 {
+			t.Fatalf("point %v escaped clip square", p)
+		}
+	}
+}
+
+func TestNormalErrors(t *testing.T) {
+	r := rng.New(3)
+	if _, err := Normal(r, -1, 0, 0, 1, 1, 0, 5); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := Normal(r, 10, 0, 0, 1, 1, 1, 5); err == nil {
+		t.Fatal("rho=1 accepted")
+	}
+	if _, err := Normal(r, 10, 0, 0, 0, 1, 0, 5); err == nil {
+		t.Fatal("zero sigma accepted")
+	}
+}
+
+func TestSkewZipfCDF(t *testing.T) {
+	r := rng.New(5)
+	pts, err := SkewZipf(r, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify F(x) = log2(x+1) at a few quantiles.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		count := 0
+		for _, p := range pts {
+			if p.X <= x {
+				count++
+			}
+		}
+		got := float64(count) / float64(len(pts))
+		want := math.Log2(x + 1)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("F(%v) = %v, want %v", x, got, want)
+		}
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+			t.Fatalf("point %v outside [0,1)²", p)
+		}
+	}
+}
+
+func TestSkewZipfSkewsTowardOrigin(t *testing.T) {
+	r := rng.New(7)
+	pts, err := SkewZipf(r, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := 0, 0
+	for _, p := range pts {
+		if p.X < 0.5 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low <= high {
+		t.Fatalf("Zipf not skewed: %d low vs %d high", low, high)
+	}
+}
+
+func TestMNormalThreeModes(t *testing.T) {
+	r := rng.New(9)
+	pts, err := MNormal(r, 90000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 90000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Count points near each designed centre: each component should hold
+	// roughly a third of the mass within radius 2.
+	centres := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 3}, {X: 1.5, Y: -1}}
+	for _, c := range centres {
+		near := 0
+		for _, p := range pts {
+			if p.Dist(c) < 2 {
+				near++
+			}
+		}
+		if near < 20000 {
+			t.Fatalf("component at %v holds only %d points", c, near)
+		}
+	}
+}
+
+func TestCityPointsOnUnitSquare(t *testing.T) {
+	r := rng.New(11)
+	pts, err := City(r, CityConfig{N: 20000, Streets: 10, Hotspots: 5, StreetFrac: 0.7, Jitter: 0.004, HotSigma: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+			t.Fatalf("point %v outside unit square", p)
+		}
+	}
+}
+
+func TestCityIsConcentrated(t *testing.T) {
+	// City points should be far more concentrated than uniform: the top
+	// 10% of cells of a 20×20 grid should hold well over half the mass.
+	r := rng.New(13)
+	pts, err := City(r, CityConfig{N: 50000, Streets: 10, Hotspots: 5, StreetFrac: 0.75, Jitter: 0.004, HotSigma: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 20
+	counts := make([]int, d*d)
+	for _, p := range pts {
+		x := int(p.X * d)
+		y := int(p.Y * d)
+		counts[y*d+x]++
+	}
+	// Partial selection: count mass in the 40 largest cells.
+	top := make([]int, len(counts))
+	copy(top, counts)
+	for i := 0; i < 40; i++ {
+		maxJ := i
+		for j := i + 1; j < len(top); j++ {
+			if top[j] > top[maxJ] {
+				maxJ = j
+			}
+		}
+		top[i], top[maxJ] = top[maxJ], top[i]
+	}
+	sumTop := 0
+	for i := 0; i < 40; i++ {
+		sumTop += top[i]
+	}
+	// Under a uniform distribution the top 40 of 400 cells would hold
+	// ~10% of the mass; the street/hot-spot structure concentrates far
+	// more than that.
+	if float64(sumTop) < 0.35*float64(len(pts)) {
+		t.Fatalf("top 10%% of cells hold only %d/%d points", sumTop, len(pts))
+	}
+}
+
+func TestCityConfigValidation(t *testing.T) {
+	r := rng.New(15)
+	if _, err := City(r, CityConfig{N: -1, Streets: 2, Hotspots: 2}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := City(r, CityConfig{N: 10, Streets: 0, Hotspots: 2}); err == nil {
+		t.Fatal("zero streets accepted")
+	}
+	if _, err := City(r, CityConfig{N: 10, Streets: 2, Hotspots: 2, StreetFrac: 1.5}); err == nil {
+		t.Fatal("street fraction >1 accepted")
+	}
+}
+
+func TestChicagoCrimeLikePartCounts(t *testing.T) {
+	r := rng.New(17)
+	ds, err := ChicagoCrimeLike(r, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Parts) != 3 {
+		t.Fatalf("got %d parts", len(ds.Parts))
+	}
+	wantTotals := []int{2166, 1736, 691} // 1% of Table III
+	for i, part := range ds.Parts {
+		got := len(ds.Extract(part))
+		if math.Abs(float64(got-wantTotals[i])) > 3 {
+			t.Fatalf("part %s has %d points, want ≈%d", part.Name, got, wantTotals[i])
+		}
+	}
+}
+
+func TestNYCGreenTaxiLikeRelativeDensities(t *testing.T) {
+	r := rng.New(19)
+	ds, err := NYCGreenTaxiLike(r, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := len(ds.Extract(ds.Parts[0]))
+	b := len(ds.Extract(ds.Parts[1]))
+	c := len(ds.Extract(ds.Parts[2]))
+	// Part B dominates in the real data (42,195 vs ~10k each).
+	if !(b > 3*a && b > 3*c) {
+		t.Fatalf("NYC part densities %d/%d/%d do not match Table III shape", a, b, c)
+	}
+}
+
+func TestPartsAreDisjoint(t *testing.T) {
+	r := rng.New(21)
+	ds, err := ChicagoCrimeLike(r, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, part := range ds.Parts {
+		total += len(ds.Extract(part))
+	}
+	if total != len(ds.Points) {
+		t.Fatalf("parts cover %d of %d points", total, len(ds.Points))
+	}
+}
+
+func TestScaleOf(t *testing.T) {
+	if Scale(0.5).Of(100) != 50 {
+		t.Fatal("scale 0.5 of 100")
+	}
+	if Scale(0).Of(100) != 100 {
+		t.Fatal("zero scale should default to 1")
+	}
+	if Scale(1e-9).Of(100) != 1 {
+		t.Fatal("tiny scale should floor at 1 point")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	a, err := City(rng.New(23), CityConfig{N: 100, Streets: 3, Hotspots: 2, StreetFrac: 0.5, Jitter: 0.01, HotSigma: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := City(rng.New(23), CityConfig{N: 100, Streets: 3, Hotspots: 2, StreetFrac: 0.5, Jitter: 0.01, HotSigma: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different cities")
+		}
+	}
+}

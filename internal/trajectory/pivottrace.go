@@ -1,0 +1,118 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+
+	"dpspatial/internal/fo"
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+// PivotTrace is the collection-based trajectory baseline: each user
+// subsamples up to MaxPivots pivot points of their trajectory (always
+// including the endpoints), perturbs each pivot's grid cell with GRR under
+// an even split of the privacy budget, and the analyst reconstructs the
+// trajectory by walking straight cell paths between consecutive reported
+// pivots. Splitting ε across several pivots is what caps its accuracy in
+// Figure 14.
+type PivotTrace struct {
+	dom       grid.Domain
+	eps       float64
+	maxPivots int
+}
+
+// NewPivotTrace builds the baseline over the evaluation grid.
+func NewPivotTrace(dom grid.Domain, eps float64, maxPivots int) (*PivotTrace, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("trajectory: invalid epsilon %v", eps)
+	}
+	if maxPivots < 2 {
+		return nil, fmt.Errorf("trajectory: need at least 2 pivots, got %d", maxPivots)
+	}
+	return &PivotTrace{dom: dom, eps: eps, maxPivots: maxPivots}, nil
+}
+
+// Name returns the mechanism's display name.
+func (p *PivotTrace) Name() string { return "PivotTrace" }
+
+// Reconstruct perturbs each trajectory's pivots and rebuilds the point
+// sequences from the noisy reports.
+func (p *PivotTrace) Reconstruct(trajs []Trajectory, r *rng.RNG) ([]Trajectory, error) {
+	if len(trajs) == 0 {
+		return nil, fmt.Errorf("trajectory: no trajectories")
+	}
+	n := p.dom.NumCells()
+	out := make([]Trajectory, 0, len(trajs))
+	for _, tr := range trajs {
+		if len(tr) == 0 {
+			out = append(out, Trajectory{})
+			continue
+		}
+		pivots := p.selectPivots(tr)
+		perPivot := p.eps / float64(len(pivots))
+		var noisy []geom.Cell
+		if n < 2 {
+			// Degenerate single-cell grid: nothing to randomise.
+			for range pivots {
+				noisy = append(noisy, geom.Cell{})
+			}
+		} else {
+			g, err := fo.NewGRR(n, perPivot)
+			if err != nil {
+				return nil, err
+			}
+			for _, pv := range pivots {
+				noisy = append(noisy, p.dom.CellAt(g.Perturb(p.dom.Index(p.dom.CellOf(pv)), r)))
+			}
+		}
+		// Reconstruct: straight cell walks between consecutive pivots,
+		// stretched to roughly preserve the original length.
+		segLen := (len(tr) + len(pivots) - 2) / maxi(1, len(pivots)-1)
+		rec := Trajectory{}
+		for i := 0; i < len(noisy)-1; i++ {
+			rec = append(rec, p.walk(noisy[i], noisy[i+1], segLen)...)
+		}
+		rec = append(rec, p.dom.CellCenter(noisy[len(noisy)-1]))
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// selectPivots returns up to maxPivots points including both endpoints,
+// evenly spaced along the trajectory.
+func (p *PivotTrace) selectPivots(tr Trajectory) []geom.Point {
+	if len(tr) == 1 {
+		return []geom.Point{tr[0], tr[0]}
+	}
+	count := p.maxPivots
+	if count > len(tr) {
+		count = len(tr)
+	}
+	pivots := make([]geom.Point, count)
+	for i := 0; i < count; i++ {
+		idx := i * (len(tr) - 1) / (count - 1)
+		pivots[i] = tr[idx]
+	}
+	return pivots
+}
+
+// walk emits `steps` points along the straight line between two cells
+// (excluding the destination, which the next segment emits).
+func (p *PivotTrace) walk(from, to geom.Cell, steps int) Trajectory {
+	if steps < 1 {
+		steps = 1
+	}
+	a := p.dom.CellCenter(from)
+	b := p.dom.CellCenter(to)
+	out := make(Trajectory, 0, steps)
+	for s := 0; s < steps; s++ {
+		t := float64(s) / float64(steps)
+		out = append(out, geom.Point{
+			X: a.X + t*(b.X-a.X),
+			Y: a.Y + t*(b.Y-a.Y),
+		})
+	}
+	return out
+}

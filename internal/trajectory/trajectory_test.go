@@ -1,0 +1,395 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/synth"
+)
+
+func workloadPoints(t *testing.T) []geom.Point {
+	t.Helper()
+	pts, err := synth.City(rng.New(42), synth.CityConfig{
+		N: 20000, Streets: 8, Hotspots: 4, StreetFrac: 0.7, Jitter: 0.005, HotSigma: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func defaultConfig() WorkloadConfig {
+	return WorkloadConfig{GridD: 50, NumTraj: 200, MinLen: 2, MaxLen: 40}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	trajs, err := Generate(workloadPoints(t), defaultConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajs) != 200 {
+		t.Fatalf("got %d trajectories", len(trajs))
+	}
+	for i, tr := range trajs {
+		if len(tr) < 1 || len(tr) > 40 {
+			t.Fatalf("trajectory %d has length %d", i, len(tr))
+		}
+	}
+}
+
+func TestGenerateStepsAreLocal(t *testing.T) {
+	pts := workloadPoints(t)
+	cfg := defaultConfig()
+	trajs, err := Generate(pts, cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := grid.SquareDomain(pts, cfg.GridD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trajs {
+		for i := 1; i < len(tr); i++ {
+			a, b := dom.CellOf(tr[i-1]), dom.CellOf(tr[i])
+			if absInt(a.X-b.X) > 1 || absInt(a.Y-b.Y) > 1 {
+				t.Fatalf("non-adjacent step from %v to %v", a, b)
+			}
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestGenerateValidation(t *testing.T) {
+	pts := workloadPoints(t)
+	r := rng.New(3)
+	if _, err := Generate(nil, defaultConfig(), r); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	bad := defaultConfig()
+	bad.GridD = 1
+	if _, err := Generate(pts, bad, r); err == nil {
+		t.Fatal("grid d=1 accepted")
+	}
+	bad = defaultConfig()
+	bad.NumTraj = 0
+	if _, err := Generate(pts, bad, r); err == nil {
+		t.Fatal("zero trajectories accepted")
+	}
+	bad = defaultConfig()
+	bad.MinLen, bad.MaxLen = 5, 3
+	if _, err := Generate(pts, bad, r); err == nil {
+		t.Fatal("inverted length range accepted")
+	}
+}
+
+func TestPointHistCountsAllPoints(t *testing.T) {
+	trajs := []Trajectory{
+		{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.2}},
+		{{X: 0.9, Y: 0.9}},
+	}
+	dom, err := grid.NewDomain(0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := PointHist(dom, trajs)
+	if h.Total() != 3 {
+		t.Fatalf("hist total %v, want 3", h.Total())
+	}
+}
+
+func TestPointsFlatten(t *testing.T) {
+	trajs := []Trajectory{{{X: 1, Y: 1}}, {{X: 2, Y: 2}, {X: 3, Y: 3}}}
+	if got := len(Points(trajs)); got != 3 {
+		t.Fatalf("flattened %d points", got)
+	}
+}
+
+func evalDomain(t *testing.T, pts []geom.Point, d int) grid.Domain {
+	t.Helper()
+	dom, err := grid.SquareDomain(pts, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom
+}
+
+func TestLDPTraceSynthesizeShape(t *testing.T) {
+	pts := workloadPoints(t)
+	trajs, err := Generate(pts, defaultConfig(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := evalDomain(t, pts, 10)
+	l, err := NewLDPTrace(dom, 1.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synths, err := l.Synthesize(trajs, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synths) != len(trajs) {
+		t.Fatalf("synthesised %d trajectories for %d inputs", len(synths), len(trajs))
+	}
+	for _, tr := range synths {
+		for i := 1; i < len(tr); i++ {
+			a, b := dom.CellOf(tr[i-1]), dom.CellOf(tr[i])
+			if absInt(a.X-b.X) > 1 || absInt(a.Y-b.Y) > 1 {
+				t.Fatalf("synthetic step from %v to %v not adjacent", a, b)
+			}
+		}
+	}
+}
+
+func TestLDPTraceRecoversBetterWithMoreBudget(t *testing.T) {
+	pts := workloadPoints(t)
+	trajs, err := Generate(pts, defaultConfig(), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := evalDomain(t, pts, 8)
+	truth := PointHist(dom, trajs).Normalize()
+	tvAt := func(eps float64, seed uint64) float64 {
+		l, err := NewLDPTrace(dom, eps, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		synths, err := l.Synthesize(trajs, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := PointHist(dom, synths).Normalize()
+		tv, err := grid.TotalVariation(truth, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tv
+	}
+	// Average a few runs to dampen noise.
+	low, high := 0.0, 0.0
+	for s := uint64(0); s < 3; s++ {
+		low += tvAt(0.3, 10+s)
+		high += tvAt(8, 20+s)
+	}
+	if high >= low {
+		t.Fatalf("more budget did not help: TV(eps=8)=%v vs TV(eps=0.3)=%v", high/3, low/3)
+	}
+}
+
+func TestLDPTraceErrors(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLDPTrace(dom, 0, 40); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewLDPTrace(dom, 1, 1); err == nil {
+		t.Fatal("maxLen=1 accepted")
+	}
+	l, err := NewLDPTrace(dom, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Synthesize(nil, rng.New(1)); err == nil {
+		t.Fatal("empty trajectory set accepted")
+	}
+}
+
+func TestLDPTraceLengthBuckets(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLDPTrace(dom, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for length := 1; length <= 40; length++ {
+		b := l.lenBucket(length)
+		if b < 0 || b >= l.lenBuckets {
+			t.Fatalf("length %d maps to bucket %d", length, b)
+		}
+	}
+	if l.lenBucket(1) != 0 {
+		t.Fatal("shortest length not in first bucket")
+	}
+	if l.lenBucket(40) != l.lenBuckets-1 {
+		t.Fatal("longest length not in last bucket")
+	}
+}
+
+func TestDirIndexRoundTrip(t *testing.T) {
+	for i, d := range directions {
+		if got := dirIndex(d); got != i {
+			t.Fatalf("direction %v maps to %d, want %d", d, got, i)
+		}
+	}
+	if dirIndex(geom.Cell{X: 2, Y: 0}) != -1 {
+		t.Fatal("non-unit offset mapped to a direction")
+	}
+	if dirIndex(geom.Cell{X: 0, Y: 0}) != -1 {
+		t.Fatal("zero offset mapped to a direction")
+	}
+}
+
+func TestPivotTraceReconstructShape(t *testing.T) {
+	pts := workloadPoints(t)
+	trajs, err := Generate(pts, defaultConfig(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := evalDomain(t, pts, 10)
+	p, err := NewPivotTrace(dom, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := p.Reconstruct(trajs, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(trajs) {
+		t.Fatalf("reconstructed %d for %d inputs", len(recs), len(trajs))
+	}
+	for i, rec := range recs {
+		if len(trajs[i]) > 0 && len(rec) == 0 {
+			t.Fatalf("trajectory %d reconstructed empty", i)
+		}
+		for _, pt := range rec {
+			c := dom.CellOf(pt)
+			if !dom.Contains(c) {
+				t.Fatalf("reconstructed point %v outside domain", pt)
+			}
+		}
+	}
+}
+
+func TestPivotTraceSelectPivots(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPivotTrace(dom, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := make(Trajectory, 10)
+	for i := range tr {
+		tr[i] = geom.Point{X: float64(i) / 10, Y: 0.5}
+	}
+	pivots := p.selectPivots(tr)
+	if len(pivots) != 4 {
+		t.Fatalf("got %d pivots", len(pivots))
+	}
+	if pivots[0] != tr[0] || pivots[3] != tr[9] {
+		t.Fatal("pivots must include both endpoints")
+	}
+	// Short trajectory: fewer pivots, but at least the endpoints.
+	short := Trajectory{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.2}}
+	pv := p.selectPivots(short)
+	if len(pv) != 2 {
+		t.Fatalf("short trajectory got %d pivots", len(pv))
+	}
+	single := Trajectory{{X: 0.3, Y: 0.3}}
+	if got := p.selectPivots(single); len(got) != 2 {
+		t.Fatalf("single-point trajectory got %d pivots", len(got))
+	}
+}
+
+func TestPivotTraceErrors(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPivotTrace(dom, -1, 4); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	if _, err := NewPivotTrace(dom, 1, 1); err == nil {
+		t.Fatal("single pivot accepted")
+	}
+	p, err := NewPivotTrace(dom, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reconstruct(nil, rng.New(1)); err == nil {
+		t.Fatal("empty trajectory set accepted")
+	}
+}
+
+func TestPivotTraceWalkLength(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPivotTrace(dom, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := p.walk(geom.Cell{X: 0, Y: 0}, geom.Cell{X: 5, Y: 5}, 5)
+	if len(seg) != 5 {
+		t.Fatalf("walk emitted %d points, want 5", len(seg))
+	}
+	// Points advance monotonically towards the target.
+	for i := 1; i < len(seg); i++ {
+		if seg[i].X < seg[i-1].X || seg[i].Y < seg[i-1].Y {
+			t.Fatalf("walk not monotone at %d: %v -> %v", i, seg[i-1], seg[i])
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	pts := workloadPoints(t)
+	a, err := Generate(pts, defaultConfig(), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(pts, defaultConfig(), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic workload size")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("trajectory %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("trajectory %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLDPTraceBeatsNothingButKeepsMass(t *testing.T) {
+	// Even at tiny budgets, the synthesised point histogram must be a
+	// valid distribution over the domain.
+	pts := workloadPoints(t)
+	trajs, err := Generate(pts, defaultConfig(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := evalDomain(t, pts, 6)
+	l, err := NewLDPTrace(dom, 0.1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synths, err := l.Synthesize(trajs, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := PointHist(dom, synths).Normalize()
+	if math.Abs(h.Total()-1) > 1e-9 {
+		t.Fatalf("synthetic hist total %v", h.Total())
+	}
+}

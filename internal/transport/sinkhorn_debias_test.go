@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+func TestSinkhornDebiasedIdenticalIsZero(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	h := grid.NewHist(dom)
+	for i := range h.Mass {
+		h.Mass[i] = r.Float64()
+	}
+	h.Normalize()
+	w, err := W2Sinkhorn(h, h, &SinkhornOptions{Debias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 1e-6 {
+		t.Fatalf("debiased self-distance %v, want ≈0", w)
+	}
+}
+
+func TestSinkhornDebiasedTracksSmallPerturbations(t *testing.T) {
+	// The plain regularised cost has an additive floor that swamps small
+	// true distances; the debiased divergence must not.
+	dom, err := grid.NewDomain(0, 0, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	a := grid.NewHist(dom)
+	for i := range a.Mass {
+		a.Mass[i] = 0.5 + r.Float64()
+	}
+	a.Normalize()
+	b := a.Clone()
+	b.Mass[5] += 0.002
+	b.Normalize()
+	exact, err := W2Exact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := W2Sinkhorn(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	debiased, err := W2Sinkhorn(a, b, &SinkhornOptions{Debias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(debiased-exact) >= math.Abs(plain-exact) {
+		t.Fatalf("debiasing did not help: exact %v, plain %v, debiased %v",
+			exact, plain, debiased)
+	}
+	if debiased > 5*exact+0.05 {
+		t.Fatalf("debiased %v still far above exact %v", debiased, exact)
+	}
+}
+
+func TestSinkhornDebiasedPreservesLargeDistances(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := grid.NewHist(dom)
+	b := grid.NewHist(dom)
+	a.Set(geom.Cell{X: 0, Y: 0}, 1)
+	b.Set(geom.Cell{X: 7, Y: 7}, 1)
+	w, err := W2Sinkhorn(a, b, &SinkhornOptions{Debias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Hypot(7, 7)
+	if math.Abs(w-want) > 0.5 {
+		t.Fatalf("debiased point-mass distance %v, want ≈%v", w, want)
+	}
+}
+
+func TestSinkhornDefaultRegIsAbsolute(t *testing.T) {
+	// The default regularisation must not scale with the grid size: the
+	// self-floor on a 15-grid stays comparable to the 6-grid one.
+	floor := func(d int) float64 {
+		dom, err := grid.NewDomain(0, 0, float64(d), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(d))
+		h := grid.NewHist(dom)
+		for i := range h.Mass {
+			h.Mass[i] = r.Float64()
+		}
+		h.Normalize()
+		w, err := W2Sinkhorn(h, h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	f6, f15 := floor(6), floor(15)
+	if f15 > 3*f6+0.2 {
+		t.Fatalf("default-reg floor grows with grid size: %v at d=6, %v at d=15", f6, f15)
+	}
+}

@@ -1,0 +1,372 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+func newDomain(t *testing.T, d int) grid.Domain {
+	t.Helper()
+	dom, err := grid.NewDomain(0, 0, float64(d), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom
+}
+
+func uniformHist(dom grid.Domain) *grid.Hist2D {
+	h := grid.NewHist(dom)
+	for i := range h.Mass {
+		h.Mass[i] = 1
+	}
+	return h.Normalize()
+}
+
+func pointHist(dom grid.Domain, c geom.Cell) *grid.Hist2D {
+	h := grid.NewHist(dom)
+	h.Set(c, 1)
+	return h
+}
+
+func randomHist(dom grid.Domain, r *rng.RNG) *grid.Hist2D {
+	h := grid.NewHist(dom)
+	for i := range h.Mass {
+		h.Mass[i] = r.Float64()
+	}
+	return h.Normalize()
+}
+
+func TestW2ExactIdenticalIsZero(t *testing.T) {
+	dom := newDomain(t, 5)
+	r := rng.New(1)
+	h := randomHist(dom, r)
+	w, err := W2Exact(h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 1e-9 {
+		t.Fatalf("W2(h,h) = %v, want 0", w)
+	}
+}
+
+func TestW2ExactPointMasses(t *testing.T) {
+	dom := newDomain(t, 6)
+	a := pointHist(dom, geom.Cell{X: 0, Y: 0})
+	b := pointHist(dom, geom.Cell{X: 3, Y: 4})
+	w, err := W2Exact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-5) > 1e-9 {
+		t.Fatalf("point-mass W2 = %v, want 5", w)
+	}
+}
+
+func TestW2ExactSymmetry(t *testing.T) {
+	dom := newDomain(t, 5)
+	r := rng.New(2)
+	a, b := randomHist(dom, r), randomHist(dom, r)
+	ab, err := W2Exact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := W2Exact(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab-ba) > 1e-8 {
+		t.Fatalf("asymmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestW2ExactTriangleInequality(t *testing.T) {
+	dom := newDomain(t, 4)
+	r := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		a, b, c := randomHist(dom, r), randomHist(dom, r), randomHist(dom, r)
+		ab, err := W2Exact(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := W2Exact(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, err := W2Exact(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ac > ab+bc+1e-8 {
+			t.Fatalf("triangle violated: %v > %v + %v", ac, ab, bc)
+		}
+	}
+}
+
+func TestW2ExactMatches1DClosedForm(t *testing.T) {
+	// Embed 1-D distributions in the bottom row of the grid: the exact 2-D
+	// LP must agree with the quantile-coupling closed form.
+	dom := newDomain(t, 8)
+	r := rng.New(5)
+	for trial := 0; trial < 5; trial++ {
+		a, b := grid.NewHist(dom), grid.NewHist(dom)
+		for x := 0; x < dom.D; x++ {
+			a.Set(geom.Cell{X: x, Y: 0}, r.Float64())
+			b.Set(geom.Cell{X: x, Y: 0}, r.Float64())
+		}
+		a.Normalize()
+		b.Normalize()
+		exact, err := WpExactPow(a, b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := W1D(Marginal1D(a.MarginalX()), Marginal1D(b.MarginalX()), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-closed) > 1e-8 {
+			t.Fatalf("trial %d: LP %v, 1-D closed form %v", trial, exact, closed)
+		}
+	}
+}
+
+func TestW2ExactDomainMismatch(t *testing.T) {
+	a := uniformHist(newDomain(t, 3))
+	b := uniformHist(newDomain(t, 4))
+	if _, err := W2Exact(a, b); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+}
+
+func TestW1DBasics(t *testing.T) {
+	a := []WeightedPoint{{Pos: 0, Mass: 1}}
+	b := []WeightedPoint{{Pos: 3, Mass: 1}}
+	w, err := W1D(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-3) > 1e-12 {
+		t.Fatalf("W1 = %v, want 3", w)
+	}
+	w, err = W1D(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-9) > 1e-12 {
+		t.Fatalf("W2² = %v, want 9", w)
+	}
+}
+
+func TestW1DUnsortedInput(t *testing.T) {
+	a := []WeightedPoint{{Pos: 5, Mass: 0.5}, {Pos: 0, Mass: 0.5}}
+	b := []WeightedPoint{{Pos: 0, Mass: 0.5}, {Pos: 5, Mass: 0.5}}
+	w, err := W1D(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 1e-12 {
+		t.Fatalf("identical unsorted measures W = %v, want 0", w)
+	}
+}
+
+func TestW1DNormalisesMass(t *testing.T) {
+	a := []WeightedPoint{{Pos: 0, Mass: 10}}
+	b := []WeightedPoint{{Pos: 1, Mass: 2}}
+	w, err := W1D(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-12 {
+		t.Fatalf("W1 = %v, want 1 after normalisation", w)
+	}
+}
+
+func TestW1DErrors(t *testing.T) {
+	if _, err := W1D(nil, []WeightedPoint{{0, 1}}, 1); err == nil {
+		t.Fatal("empty measure accepted")
+	}
+	if _, err := W1D([]WeightedPoint{{0, 0}}, []WeightedPoint{{0, 1}}, 1); err == nil {
+		t.Fatal("zero-mass measure accepted")
+	}
+}
+
+func TestSinkhornApproximatesExact(t *testing.T) {
+	dom := newDomain(t, 6)
+	r := rng.New(7)
+	for trial := 0; trial < 3; trial++ {
+		a, b := randomHist(dom, r), randomHist(dom, r)
+		exact, err := W2Exact(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := W2Sinkhorn(a, b, &SinkhornOptions{Reg: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(approx-exact) > 0.15*math.Max(exact, 0.1) {
+			t.Fatalf("trial %d: Sinkhorn %v vs exact %v", trial, approx, exact)
+		}
+	}
+}
+
+func TestSinkhornTightensWithSmallerReg(t *testing.T) {
+	dom := newDomain(t, 5)
+	r := rng.New(11)
+	a, b := randomHist(dom, r), randomHist(dom, r)
+	exact, err := W2Exact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := W2Sinkhorn(a, b, &SinkhornOptions{Reg: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := W2Sinkhorn(a, b, &SinkhornOptions{Reg: 0.02, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight-exact) > math.Abs(loose-exact)+1e-9 {
+		t.Fatalf("smaller reg did not tighten: exact %v, loose %v, tight %v", exact, loose, tight)
+	}
+}
+
+func TestSinkhornIdenticalNearZero(t *testing.T) {
+	dom := newDomain(t, 5)
+	h := uniformHist(dom)
+	w, err := W2Sinkhorn(h, h, &SinkhornOptions{Reg: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 0.3 {
+		t.Fatalf("Sinkhorn self-distance %v too large", w)
+	}
+}
+
+func TestSinkhornPointMassSeparation(t *testing.T) {
+	dom := newDomain(t, 6)
+	a := pointHist(dom, geom.Cell{X: 0, Y: 0})
+	b := pointHist(dom, geom.Cell{X: 3, Y: 4})
+	w, err := W2Sinkhorn(a, b, &SinkhornOptions{Reg: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-5) > 0.2 {
+		t.Fatalf("Sinkhorn point-mass distance %v, want ≈5", w)
+	}
+}
+
+func TestRadonProjectConservesMass(t *testing.T) {
+	dom := newDomain(t, 5)
+	r := rng.New(13)
+	h := randomHist(dom, r)
+	for _, theta := range []float64{0, math.Pi / 7, math.Pi / 4, math.Pi / 2} {
+		pts := RadonProject(h, theta)
+		total := 0.0
+		for _, p := range pts {
+			total += p.Mass
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("θ=%v: projected mass %v", theta, total)
+		}
+	}
+}
+
+func TestRadonProjectAxisAligned(t *testing.T) {
+	dom := newDomain(t, 4)
+	h := pointHist(dom, geom.Cell{X: 2, Y: 3})
+	pts := RadonProject(h, 0)
+	if len(pts) != 1 || pts[0].Pos != 2 {
+		t.Fatalf("θ=0 projection %v, want position 2", pts)
+	}
+	pts = RadonProject(h, math.Pi/2)
+	if len(pts) != 1 || math.Abs(pts[0].Pos-3) > 1e-9 {
+		t.Fatalf("θ=π/2 projection %v, want position 3", pts)
+	}
+}
+
+func TestSlicedWLowerBoundsW2(t *testing.T) {
+	// Each 1-D projection is a contraction, so SW ≤ W (for the same p).
+	dom := newDomain(t, 5)
+	r := rng.New(17)
+	for trial := 0; trial < 5; trial++ {
+		a, b := randomHist(dom, r), randomHist(dom, r)
+		w2, err := W2Exact(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := SlicedW(a, b, 2, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sw > w2+1e-8 {
+			t.Fatalf("trial %d: SW %v exceeds W2 %v", trial, sw, w2)
+		}
+	}
+}
+
+func TestSlicedWIdenticalIsZero(t *testing.T) {
+	dom := newDomain(t, 5)
+	h := uniformHist(dom)
+	sw, err := SlicedW(h, h, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw > 1e-9 {
+		t.Fatalf("SW(h,h) = %v", sw)
+	}
+}
+
+func TestSlicedWSeparatesDistinct(t *testing.T) {
+	dom := newDomain(t, 5)
+	a := pointHist(dom, geom.Cell{X: 0, Y: 0})
+	b := pointHist(dom, geom.Cell{X: 4, Y: 4})
+	sw, err := SlicedW(a, b, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw < 1 {
+		t.Fatalf("SW between distant point masses %v too small", sw)
+	}
+}
+
+func TestSlicedWErrors(t *testing.T) {
+	dom := newDomain(t, 3)
+	h := uniformHist(dom)
+	if _, err := SlicedW(h, h, 2, 0); err == nil {
+		t.Fatal("zero angles accepted")
+	}
+}
+
+func TestQuickW1DNonNegativeAndZeroOnSelf(t *testing.T) {
+	r := rng.New(19)
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pts := make([]WeightedPoint, 0, len(raw))
+		for i, v := range raw {
+			if v > 0 {
+				pts = append(pts, WeightedPoint{Pos: float64(i), Mass: float64(v)})
+			}
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		self, err := W1D(pts, pts, 2)
+		if err != nil || self > 1e-9 {
+			return false
+		}
+		other := make([]WeightedPoint, len(pts))
+		copy(other, pts)
+		other[r.Intn(len(other))].Pos += 1
+		w, err := W1D(pts, other, 2)
+		return err == nil && w >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package dpspatial
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimate1DRecoversShape(t *testing.T) {
+	r := NewRand(3)
+	values := make([]float64, 100000)
+	for i := range values {
+		// Triangular-ish distribution on [0, 10] centred at 4.
+		values[i] = 4 + 1.2*r.NormFloat64()
+	}
+	est, err := Estimate1D(values, 0, 10, 10, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	mode := 0
+	for i, p := range est {
+		if p < 0 {
+			t.Fatalf("negative probability %v", p)
+		}
+		total += p
+		if p > est[mode] {
+			mode = i
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("estimate total %v", total)
+	}
+	if mode < 3 || mode > 5 {
+		t.Fatalf("mode bucket %d, want near 4 (est %v)", mode, est)
+	}
+}
+
+func TestEstimate1DClampsOutOfRange(t *testing.T) {
+	values := []float64{-100, 100, 5}
+	for i := 0; i < 500; i++ {
+		values = append(values, 5)
+	}
+	est, err := Estimate1D(values, 0, 10, 5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 5 {
+		t.Fatalf("got %d buckets", len(est))
+	}
+}
+
+func TestEstimate1DErrors(t *testing.T) {
+	if _, err := Estimate1D(nil, 0, 1, 5, 1, 1); err == nil {
+		t.Fatal("empty values accepted")
+	}
+	if _, err := Estimate1D([]float64{1}, 1, 0, 5, 1, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := Estimate1D([]float64{1}, 0, 1, 0, 1, 1); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+	if _, err := Estimate1D([]float64{1}, 0, 1, 5, 0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestWasserstein1DBasics(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 0, 1}
+	w, err := Wasserstein1D(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2) > 1e-12 {
+		t.Fatalf("W1 = %v, want 2", w)
+	}
+	w, err = Wasserstein1D(a, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 1e-12 {
+		t.Fatalf("self distance %v", w)
+	}
+	if _, err := Wasserstein1D(a, []float64{1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
