@@ -22,6 +22,7 @@ func (hc *harnessConfig) suite() *experiments.Suite {
 		Seed:          hc.seed,
 		MaxPoints:     hc.maxPoints,
 		LPCalibration: !hc.noLPCal,
+		Workers:       hc.workers,
 	})
 }
 
@@ -115,12 +116,13 @@ func cmdTables(args []string) error {
 func cmdShapes(args []string) error {
 	fs := flag.NewFlagSet("shapes", flag.ExitOnError)
 	hc := harnessFlags(fs)
+	figList := fs.String("figs", "8,9a,9d,14a", "comma-separated figure ids to audit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s := hc.suite()
 	figs := map[string]*experiments.Figure{}
-	for _, id := range []string{"8", "9a", "9d", "14a"} {
+	for _, id := range strings.Split(*figList, ",") {
 		fig, err := runFigure(s, id)
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", id, err)
@@ -202,8 +204,9 @@ func cmdEstimate(args []string) error {
 	in := fs.String("in", "", "input CSV with x,y columns")
 	d := fs.Int("d", 15, "grid side length")
 	eps := fs.Float64("eps", 3.5, "privacy budget")
-	mech := fs.String("mech", "DAM", "mechanism: DAM, DAM-NS, HUEM, MDSW")
+	mech := fs.String("mech", "DAM", "mechanism: "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 1, "collection fan-out workers (0 = all cores; values ≠ 1 use per-worker RNG streams)")
 	render := fs.Bool("render", false, "print an ASCII density map instead of CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -216,7 +219,8 @@ func cmdEstimate(args []string) error {
 		return err
 	}
 	est, err := dpspatial.Estimate(pts, *d, *eps,
-		dpspatial.WithMechanism(*mech), dpspatial.WithSeed(*seed))
+		dpspatial.WithMechanism(*mech), dpspatial.WithSeed(*seed),
+		dpspatial.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -274,11 +278,12 @@ func cmdDemo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	d := fs.Int("d", 20, "grid side length")
 	eps := fs.Float64("eps", 3.5, "privacy budget")
+	n := fs.Int("n", 60000, "synthetic city population")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	pts, err := synth.City(rng.New(42), synth.CityConfig{
-		N: 60000, Streets: 10, Hotspots: 5, StreetFrac: 0.7, Jitter: 0.004, HotSigma: 0.02,
+		N: *n, Streets: 10, Hotspots: 5, StreetFrac: 0.7, Jitter: 0.004, HotSigma: 0.02,
 	})
 	if err != nil {
 		return err

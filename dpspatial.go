@@ -20,6 +20,7 @@ package dpspatial
 
 import (
 	"fmt"
+	"strings"
 
 	"dpspatial/internal/fo"
 	"dpspatial/internal/geom"
@@ -82,6 +83,7 @@ type Option func(*options)
 type options struct {
 	bHat      *int
 	smoothing bool
+	workers   *int
 }
 
 // WithRadius overrides DAM/HUEM's discrete high-probability radius b̂ (in
@@ -95,6 +97,15 @@ func WithSmoothing() Option {
 	return func(o *options) { o.smoothing = true }
 }
 
+// WithCollectWorkers fans the per-user collection step of EstimateHist
+// out across n workers (0 = all cores). The default of 1 collects
+// sequentially on the caller's RNG stream; any other value draws
+// deterministic per-worker streams instead, so estimates are reproducible
+// for a fixed seed and worker count.
+func WithCollectWorkers(n int) Option {
+	return func(o *options) { o.workers = &n }
+}
+
 func (o *options) samOpts() []sam.Option {
 	var out []sam.Option
 	if o.bHat != nil {
@@ -102,6 +113,25 @@ func (o *options) samOpts() []sam.Option {
 	}
 	if o.smoothing {
 		out = append(out, sam.WithSmoothing())
+	}
+	if o.workers != nil {
+		out = append(out, sam.WithWorkers(*o.workers))
+	}
+	return out
+}
+
+func (o *options) mdswOpts() []mdsw.Option {
+	var out []mdsw.Option
+	if o.workers != nil {
+		out = append(out, mdsw.WithWorkers(*o.workers))
+	}
+	return out
+}
+
+func (o *options) semOpts() []semgeoi.Option {
+	var out []semgeoi.Option
+	if o.workers != nil {
+		out = append(out, semgeoi.WithWorkers(*o.workers))
 	}
 	return out
 }
@@ -131,16 +161,16 @@ func NewHUEM(dom Domain, eps float64, opts ...Option) (Mechanism, error) {
 }
 
 // NewMDSW builds the multi-dimensional Square Wave baseline.
-func NewMDSW(dom Domain, eps float64) (Mechanism, error) {
-	return mdsw.NewMDSW(dom, eps)
+func NewMDSW(dom Domain, eps float64, opts ...Option) (Mechanism, error) {
+	return mdsw.NewMDSW(dom, eps, collect(opts).mdswOpts()...)
 }
 
 // NewSEMGeoI builds the Subset Exponential Mechanism under epsGeo-Geo-I
 // (per cell-unit distance). Note Geo-I is a weaker guarantee than ε-LDP;
 // use CalibrateSEMGeoI to choose epsGeo so it matches a DAM instance's
 // local privacy.
-func NewSEMGeoI(dom Domain, epsGeo float64) (Mechanism, error) {
-	return semgeoi.New(dom, epsGeo)
+func NewSEMGeoI(dom Domain, epsGeo float64, opts ...Option) (Mechanism, error) {
+	return semgeoi.New(dom, epsGeo, collect(opts).semOpts()...)
 }
 
 // OptimalRadius returns the continuous high-probability radius b̌ that
@@ -210,6 +240,7 @@ type EstimateOption func(*estimateConfig)
 type estimateConfig struct {
 	seed      uint64
 	mechanism string
+	workers   *int
 	opts      []Option
 }
 
@@ -219,14 +250,30 @@ func WithSeed(seed uint64) EstimateOption {
 }
 
 // WithMechanism selects the reporting mechanism by name: "DAM" (default),
-// "DAM-NS", "HUEM" or "MDSW".
+// "DAM-NS", "HUEM", "MDSW" or "SEM-Geo-I". SEM-Geo-I's Geo-I budget is
+// calibrated with CalibrateSEMGeoI so its local privacy matches DAM's at
+// the same ε.
 func WithMechanism(name string) EstimateOption {
 	return func(c *estimateConfig) { c.mechanism = name }
 }
 
-// WithOptions forwards mechanism options (radius, smoothing).
+// WithOptions forwards mechanism options (radius, smoothing, collection
+// workers).
 func WithOptions(opts ...Option) EstimateOption {
 	return func(c *estimateConfig) { c.opts = opts }
+}
+
+// WithWorkers fans the per-user collection step out across n workers
+// (0 = all cores). Shorthand for WithOptions(WithCollectWorkers(n));
+// estimates are reproducible for a fixed seed and worker count.
+func WithWorkers(n int) EstimateOption {
+	return func(c *estimateConfig) { c.workers = &n }
+}
+
+// EstimateMechanismNames lists the mechanisms Estimate accepts, in the
+// paper's legend order.
+func EstimateMechanismNames() []string {
+	return []string{"DAM", "DAM-NS", "HUEM", "MDSW", "SEM-Geo-I"}
 }
 
 // Estimate is the one-call pipeline: fit a d×d domain over the points,
@@ -236,6 +283,9 @@ func Estimate(points []Point, d int, eps float64, opts ...EstimateOption) (*Hist
 	cfg := estimateConfig{seed: 1, mechanism: "DAM"}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.workers != nil {
+		cfg.opts = append(cfg.opts, WithCollectWorkers(*cfg.workers))
 	}
 	dom, err := DomainOver(points, d)
 	if err != nil {
@@ -251,9 +301,17 @@ func Estimate(points []Point, d int, eps float64, opts ...EstimateOption) (*Hist
 	case "HUEM":
 		mech, err = NewHUEM(dom, eps, cfg.opts...)
 	case "MDSW":
-		mech, err = NewMDSW(dom, eps)
+		mech, err = NewMDSW(dom, eps, cfg.opts...)
+	case "SEM-Geo-I":
+		var epsGeo float64
+		epsGeo, err = CalibrateSEMGeoI(dom, eps)
+		if err != nil {
+			return nil, err
+		}
+		mech, err = NewSEMGeoI(dom, epsGeo, cfg.opts...)
 	default:
-		return nil, fmt.Errorf("dpspatial: unknown mechanism %q", cfg.mechanism)
+		return nil, fmt.Errorf("dpspatial: unknown mechanism %q (accepted: %s)",
+			cfg.mechanism, strings.Join(EstimateMechanismNames(), ", "))
 	}
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package dpspatial
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -41,7 +42,7 @@ func TestEstimateQuickstart(t *testing.T) {
 
 func TestEstimateMechanismSelection(t *testing.T) {
 	pts := clusterPoints(2000, 0, 0)
-	for _, mech := range []string{"DAM", "DAM-NS", "HUEM", "MDSW"} {
+	for _, mech := range EstimateMechanismNames() {
 		est, err := Estimate(pts, 5, 2, WithMechanism(mech), WithSeed(2))
 		if err != nil {
 			t.Fatalf("%s: %v", mech, err)
@@ -50,8 +51,37 @@ func TestEstimateMechanismSelection(t *testing.T) {
 			t.Fatalf("%s: total %v", mech, est.Total())
 		}
 	}
-	if _, err := Estimate(pts, 5, 2, WithMechanism("nope")); err == nil {
+	_, err := Estimate(pts, 5, 2, WithMechanism("nope"))
+	if err == nil {
 		t.Fatal("unknown mechanism accepted")
+	}
+	for _, name := range EstimateMechanismNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list accepted mechanism %s", err, name)
+		}
+	}
+}
+
+func TestEstimateWithWorkers(t *testing.T) {
+	pts := clusterPoints(4000, 2, 2)
+	for _, mech := range EstimateMechanismNames() {
+		run := func() *Histogram {
+			est, err := Estimate(pts, 5, 2,
+				WithMechanism(mech), WithSeed(3), WithWorkers(3))
+			if err != nil {
+				t.Fatalf("%s: %v", mech, err)
+			}
+			return est
+		}
+		a, b := run(), run()
+		for i := range a.Mass {
+			if a.Mass[i] != b.Mass[i] {
+				t.Fatalf("%s: same seed and worker count diverged", mech)
+			}
+		}
+		if math.Abs(a.Total()-1) > 1e-9 {
+			t.Fatalf("%s: total %v", mech, a.Total())
+		}
 	}
 }
 

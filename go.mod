@@ -1,0 +1,3 @@
+module dpspatial
+
+go 1.24

@@ -12,22 +12,27 @@ import (
 
 // AblationShrinkage quantifies the gain of the border-shrinkage method
 // (Section VI) — DAM vs DAM-NS across datasets at the default setting —
-// the design choice DESIGN.md calls out.
+// the design choice DESIGN.md calls out. All (dataset × mechanism) cells
+// evaluate concurrently on the suite's pool.
 func (s *Suite) AblationShrinkage() (*Table, error) {
 	t := &Table{
 		Name:   "ablation-shrink",
 		Title:  fmt.Sprintf("Border shrinkage: W2 at d=%d, eps=%g", DefaultD, DefaultEps),
 		Header: []string{"Dataset", "DAM-NS", "DAM", "Gain %"},
 	}
-	for _, dataset := range DatasetNames() {
-		ns, err := s.evalOne("DAM-NS", dataset, DefaultD, DefaultEps, MetricSinkhorn)
-		if err != nil {
-			return nil, err
-		}
-		dam, err := s.evalOne("DAM", dataset, DefaultD, DefaultEps, MetricSinkhorn)
-		if err != nil {
-			return nil, err
-		}
+	datasets := DatasetNames()
+	cells := make([]evalCell, 0, 2*len(datasets))
+	for _, dataset := range datasets {
+		cells = append(cells,
+			s.mechCell("DAM-NS", dataset, DefaultD, DefaultEps, MetricSinkhorn),
+			s.mechCell("DAM", dataset, DefaultD, DefaultEps, MetricSinkhorn))
+	}
+	means, err := s.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for di, dataset := range datasets {
+		ns, dam := means[2*di], means[2*di+1]
 		gain := 0.0
 		if ns > 0 {
 			gain = (ns - dam) / ns * 100
@@ -54,38 +59,56 @@ func (s *Suite) AblationPostprocess(dataset string) (*Table, error) {
 		Title:  fmt.Sprintf("Post-processing on %s: EM vs EMS (d=%d, eps=%g)", dataset, DefaultD, DefaultEps),
 		Header: []string{"Part", "EM", "EMS"},
 	}
-	for pi, part := range parts {
-		truth, err := part.truthHist(DefaultD)
-		if err != nil {
-			return nil, err
-		}
-		normTruth := truth.Clone().Normalize()
-		plain, err := sam.NewDAM(truth.Dom, DefaultEps)
-		if err != nil {
-			return nil, err
-		}
-		smooth, err := sam.NewDAM(truth.Dom, DefaultEps, sam.WithSmoothing())
-		if err != nil {
-			return nil, err
-		}
-		row := []string{part.name}
-		for _, mech := range []*sam.Mechanism{plain, smooth} {
-			total := 0.0
-			for rep := 0; rep < s.cfg.Repeats; rep++ {
-				r := rng.New(s.cfg.Seed + uint64(rep)*31 + uint64(pi))
-				est, err := mech.EstimateHist(truth, r)
-				if err != nil {
-					return nil, err
-				}
-				w2, err := s.cfg.W2(normTruth, est, MetricSinkhorn)
-				if err != nil {
-					return nil, err
-				}
-				total += w2
+	// One cell per (part, decoder); each runs the configured repeats. The
+	// per-trial stream matches the sequential harness: it depends on the
+	// part and repeat only, so EM and EMS decode the same noisy reports.
+	type postCell struct {
+		pi     int
+		smooth bool
+		truth  *grid.Hist2D
+		norm   *grid.Hist2D
+		mech   *sam.Mechanism
+	}
+	cells := make([]*postCell, 0, 2*len(parts))
+	for pi := range parts {
+		cells = append(cells, &postCell{pi: pi}, &postCell{pi: pi, smooth: true})
+	}
+	results, err := s.runTrialPhases(len(cells),
+		func(i int) (int, error) {
+			c := cells[i]
+			truth, err := parts[c.pi].truthHist(DefaultD)
+			if err != nil {
+				return 0, err
 			}
-			row = append(row, fmt.Sprintf("%.4f", total/float64(s.cfg.Repeats)))
-		}
-		t.Rows = append(t.Rows, row)
+			var opts []sam.Option
+			if c.smooth {
+				opts = append(opts, sam.WithSmoothing())
+			}
+			mech, err := sam.NewDAM(truth.Dom, DefaultEps, opts...)
+			if err != nil {
+				return 0, err
+			}
+			c.truth, c.norm, c.mech = truth, truth.Clone().Normalize(), mech
+			return s.cfg.Repeats, nil
+		},
+		func(i, rep int) (float64, error) {
+			c := cells[i]
+			r := rng.New(s.cfg.Seed + uint64(rep)*31 + uint64(c.pi))
+			est, err := c.mech.EstimateHist(c.truth, r)
+			if err != nil {
+				return 0, err
+			}
+			return s.cfg.W2(c.norm, est, MetricSinkhorn)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, part := range parts {
+		t.Rows = append(t.Rows, []string{
+			part.name,
+			fmt.Sprintf("%.4f", mean(results[2*pi])),
+			fmt.Sprintf("%.4f", mean(results[2*pi+1])),
+		})
 	}
 	return t, nil
 }
@@ -94,10 +117,6 @@ func (s *Suite) AblationPostprocess(dataset string) (*Table, error) {
 // the categorical CFO strawman, the continuous Geo-I planar Laplace, the
 // AHEAD hierarchy, MDSW and DAM on one dataset.
 func (s *Suite) AblationBaselines(dataset string, d int, eps float64) (*Table, error) {
-	parts, err := s.parts(dataset)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		Name:   "ablation-baselines",
 		Title:  fmt.Sprintf("Design space on %s (d=%d, eps=%g)", dataset, d, eps),
@@ -116,35 +135,27 @@ func (s *Suite) AblationBaselines(dataset string, d int, eps float64) (*Table, e
 		{"PlanarLaplace", "eps-Geo-I", func(dom grid.Domain) (Estimator, error) { return baselines.NewPlanarLaplace(dom, eps) }},
 		{"DAM", "eps-LDP", func(dom grid.Domain) (Estimator, error) { return s.buildMechanism("DAM", dom, eps) }},
 	}
+	cells := make([]evalCell, 0, len(mechanisms))
 	for _, m := range mechanisms {
-		total := 0.0
-		count := 0
-		for pi, part := range parts {
-			truth, err := part.truthHist(d)
-			if err != nil {
-				return nil, err
-			}
-			mech, err := m.build(truth.Dom)
-			if err != nil {
-				return nil, err
-			}
-			normTruth := truth.Clone().Normalize()
-			for rep := 0; rep < s.cfg.Repeats; rep++ {
-				r := rng.New(s.cfg.Seed + uint64(rep)*53 + uint64(pi)*97 ^ hashName(m.name))
-				est, err := mech.EstimateHist(truth, r)
-				if err != nil {
-					return nil, err
-				}
-				w2, err := s.cfg.W2(normTruth, est, MetricSinkhorn)
-				if err != nil {
-					return nil, err
-				}
-				total += w2
-				count++
-			}
-		}
+		name := m.name
+		cells = append(cells, evalCell{
+			dataset: dataset,
+			d:       d,
+			metric:  MetricSinkhorn,
+			label:   fmt.Sprintf("%s on %s", name, dataset),
+			build:   m.build,
+			seedAt: func(pi, rep int) uint64 {
+				return s.cfg.Seed + uint64(rep)*53 + uint64(pi)*97 ^ hashName(name)
+			},
+		})
+	}
+	means, err := s.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range mechanisms {
 		t.Rows = append(t.Rows, []string{
-			m.name, fmt.Sprintf("%.4f", total/float64(count)), m.notion,
+			m.name, fmt.Sprintf("%.4f", means[mi]), m.notion,
 		})
 	}
 	return t, nil
@@ -181,41 +192,32 @@ func (s *Suite) RangeQueryExperiment(dataset string, d int, eps float64) (*Figur
 		return len(buckets) - 1
 	}
 
+	// The three estimation pipelines are independent (each owns a stream
+	// derived from the seed and its slot), so they run concurrently.
 	type estEntry struct {
-		name string
-		est  *grid.Hist2D
+		name  string
+		build func(dom grid.Domain) (Estimator, error)
+		est   *grid.Hist2D
 	}
-	var estimators []estEntry
-
-	dam, err := sam.NewDAM(truth.Dom, eps)
-	if err != nil {
+	estimators := []estEntry{
+		{name: "DAM", build: func(dom grid.Domain) (Estimator, error) { return sam.NewDAM(dom, eps) }},
+		{name: "AHEAD", build: func(dom grid.Domain) (Estimator, error) { return rangequery.NewAHEAD(dom, eps) }},
+		{name: "CFO", build: func(dom grid.Domain) (Estimator, error) { return baselines.NewCFO(dom, eps) }},
+	}
+	if err := s.pool.run(len(estimators), func(i int) error {
+		mech, err := estimators[i].build(truth.Dom)
+		if err != nil {
+			return err
+		}
+		est, err := mech.EstimateHist(truth, rng.New(s.cfg.Seed+uint64(i)+1))
+		if err != nil {
+			return err
+		}
+		estimators[i].est = est
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	damEst, err := dam.EstimateHist(truth, rng.New(s.cfg.Seed+1))
-	if err != nil {
-		return nil, err
-	}
-	estimators = append(estimators, estEntry{"DAM", damEst})
-
-	ahead, err := rangequery.NewAHEAD(truth.Dom, eps)
-	if err != nil {
-		return nil, err
-	}
-	aheadEst, err := ahead.EstimateHist(truth, rng.New(s.cfg.Seed+2))
-	if err != nil {
-		return nil, err
-	}
-	estimators = append(estimators, estEntry{"AHEAD", aheadEst})
-
-	cfo, err := baselines.NewCFO(truth.Dom, eps)
-	if err != nil {
-		return nil, err
-	}
-	cfoEst, err := cfo.EstimateHist(truth, rng.New(s.cfg.Seed+3))
-	if err != nil {
-		return nil, err
-	}
-	estimators = append(estimators, estEntry{"CFO", cfoEst})
 
 	fig := &Figure{
 		Name:   "rangequery",

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"dpspatial/internal/fo"
 	"dpspatial/internal/geom"
@@ -56,6 +57,10 @@ type Config struct {
 	LPCalibration bool
 	// SinkhornReg overrides the entropic regularisation (0 = default).
 	SinkhornReg float64
+	// Workers bounds the suite's concurrent trial execution (0 =
+	// GOMAXPROCS). Per-trial RNG streams derive from the trial's identity,
+	// not its worker, so results are byte-identical for any value.
+	Workers int
 }
 
 // DefaultConfig returns a configuration sized for minutes-scale harness
@@ -192,9 +197,13 @@ func (c Config) W2(a, b *grid.Hist2D, m Metric) (float64, error) {
 	}
 }
 
-// Suite carries lazily generated datasets and calibration caches.
+// Suite carries lazily generated datasets and calibration caches, and
+// owns the bounded worker pool every runner fans its trials out over.
 type Suite struct {
-	cfg      Config
+	cfg  Config
+	pool *pool
+
+	mu       sync.Mutex            // guards the lazy caches below
 	datasets map[string][]partData // name -> parts
 	semCache map[string]float64    // "d/eps" -> calibrated ε'
 
@@ -209,8 +218,10 @@ type partData struct {
 
 // NewSuite builds a suite with the given configuration.
 func NewSuite(cfg Config) *Suite {
+	cfg = cfg.withDefaults()
 	return &Suite{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
+		pool:     newPool(cfg.Workers),
 		datasets: map[string][]partData{},
 		semCache: map[string]float64{},
 	}
@@ -230,8 +241,13 @@ func MechanismNames() []string {
 	return []string{"SEM-Geo-I", "MDSW", "HUEM", "DAM-NS", "DAM"}
 }
 
-// parts returns (and caches) the dataset's parts.
+// parts returns (and caches) the dataset's parts. Generation runs under
+// the cache lock: each dataset is generated exactly once, from an RNG
+// stream derived from its name, so the result is independent of which
+// trial asks first.
 func (s *Suite) parts(name string) ([]partData, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if p, ok := s.datasets[name]; ok {
 		return p, nil
 	}
@@ -339,7 +355,9 @@ func clampIdx(v, d int) int {
 }
 
 // semEpsilon returns SEM-Geo-I's budget for the given grid and ε,
-// LP-calibrated against DAM when enabled (cached).
+// LP-calibrated against DAM when enabled (cached). Concurrent misses on
+// the same key calibrate independently — the search is deterministic, so
+// they store the same value.
 func (s *Suite) semEpsilon(d int, eps float64) (float64, error) {
 	if !s.cfg.LPCalibration {
 		return eps, nil
@@ -350,9 +368,12 @@ func (s *Suite) semEpsilon(d int, eps float64) (float64, error) {
 		return eps, nil
 	}
 	key := fmt.Sprintf("%d/%g", d, eps)
+	s.mu.Lock()
 	if v, ok := s.semCache[key]; ok {
+		s.mu.Unlock()
 		return v, nil
 	}
+	s.mu.Unlock()
 	dom, err := grid.NewDomain(0, 0, float64(d), d)
 	if err != nil {
 		return 0, err
@@ -379,7 +400,9 @@ func (s *Suite) semEpsilon(d int, eps float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
 	s.semCache[key] = epsPrime
+	s.mu.Unlock()
 	return epsPrime, nil
 }
 
@@ -407,39 +430,14 @@ func (s *Suite) buildMechanism(name string, dom grid.Domain, eps float64) (Estim
 }
 
 // evalOne measures the mean W₂ of a mechanism on one dataset at (d, eps):
-// averaged over the dataset's parts and the configured repeats.
+// averaged over the dataset's parts and the configured repeats, with the
+// trials fanned out over the suite's worker pool.
 func (s *Suite) evalOne(mechName, dataset string, d int, eps float64, metric Metric) (float64, error) {
-	parts, err := s.parts(dataset)
+	means, err := s.runCells([]evalCell{s.mechCell(mechName, dataset, d, eps, metric)})
 	if err != nil {
 		return 0, err
 	}
-	total := 0.0
-	count := 0
-	for pi, part := range parts {
-		truth, err := part.truthHist(d)
-		if err != nil {
-			return 0, err
-		}
-		mech, err := s.buildMechanism(mechName, truth.Dom, eps)
-		if err != nil {
-			return 0, err
-		}
-		normTruth := truth.Clone().Normalize()
-		for rep := 0; rep < s.cfg.Repeats; rep++ {
-			r := rng.New(s.cfg.Seed + uint64(rep)*1000003 + uint64(pi)*7919 ^ hashName(mechName+dataset))
-			est, err := mech.EstimateHist(truth, r)
-			if err != nil {
-				return 0, err
-			}
-			w2, err := s.cfg.W2(normTruth, est, metric)
-			if err != nil {
-				return 0, err
-			}
-			total += w2
-			count++
-		}
-	}
-	return total / float64(count), nil
+	return means[0], nil
 }
 
 func hashName(s string) uint64 {

@@ -29,7 +29,8 @@ var (
 )
 
 // Fig8 reproduces Figure 8: W₂ of DAM as the radius b sweeps multiples of
-// the optimal b̌, at d=15 and ε=3.5, one series per dataset.
+// the optimal b̌, at d=15 and ε=3.5, one series per dataset. All
+// (dataset × multiplier) cells evaluate concurrently on the suite's pool.
 func (s *Suite) Fig8() (*Figure, error) {
 	fig := &Figure{
 		Name:   "fig8",
@@ -41,70 +42,77 @@ func (s *Suite) Fig8() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, dataset := range DatasetNames() {
-		series := Series{Label: dataset}
+	datasets := DatasetNames()
+	var cells []evalCell
+	for _, dataset := range datasets {
 		for _, mult := range RadiusMultipliers {
-			bHat := int(math.Floor(mult * bOpt))
-			w2, err := s.evalDAMWithRadius(dataset, DefaultD, DefaultEps, bHat)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, s.radiusCell(dataset, DefaultD, DefaultEps, int(math.Floor(mult*bOpt))))
+		}
+	}
+	means, err := s.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for di, dataset := range datasets {
+		series := Series{Label: dataset}
+		for mi, mult := range RadiusMultipliers {
 			series.X = append(series.X, mult)
-			series.Y = append(series.Y, w2)
+			series.Y = append(series.Y, means[di*len(RadiusMultipliers)+mi])
 		}
 		fig.Series = append(fig.Series, series)
 	}
 	return fig, nil
 }
 
-// evalDAMWithRadius runs DAM with an explicit b̂ (Figure 8's sweep).
+// radiusCell measures DAM with an explicit b̂ (Figure 8's sweep).
+func (s *Suite) radiusCell(dataset string, d int, eps float64, bHat int) evalCell {
+	return evalCell{
+		dataset: dataset,
+		d:       d,
+		metric:  MetricSinkhorn,
+		label:   fmt.Sprintf("DAM(b=%d) on %s", bHat, dataset),
+		build: func(dom grid.Domain) (Estimator, error) {
+			return sam.NewDAM(dom, eps, sam.WithBHat(bHat))
+		},
+		seedAt: func(pi, rep int) uint64 {
+			return s.cfg.Seed + uint64(rep)*999983 + uint64(pi)*7919 + uint64(bHat)
+		},
+	}
+}
+
+// evalDAMWithRadius runs one Figure 8 cell (kept for tests and ad-hoc
+// sweeps).
 func (s *Suite) evalDAMWithRadius(dataset string, d int, eps float64, bHat int) (float64, error) {
-	parts, err := s.parts(dataset)
+	means, err := s.runCells([]evalCell{s.radiusCell(dataset, d, eps, bHat)})
 	if err != nil {
 		return 0, err
 	}
-	total := 0.0
-	count := 0
-	for pi, part := range parts {
-		truth, err := part.truthHist(d)
-		if err != nil {
-			return 0, err
-		}
-		mech, err := sam.NewDAM(truth.Dom, eps, sam.WithBHat(bHat))
-		if err != nil {
-			return 0, err
-		}
-		normTruth := truth.Clone().Normalize()
-		for rep := 0; rep < s.cfg.Repeats; rep++ {
-			r := rng.New(s.cfg.Seed + uint64(rep)*999983 + uint64(pi)*7919 + uint64(bHat))
-			est, err := mech.EstimateHist(truth, r)
-			if err != nil {
-				return 0, err
-			}
-			w2, err := s.cfg.W2(normTruth, est, MetricSinkhorn)
-			if err != nil {
-				return 0, err
-			}
-			total += w2
-			count++
-		}
-	}
-	return total / float64(count), nil
+	return means[0], nil
 }
 
-// sweep runs a family of mechanisms across X values for one dataset.
+// sweep runs a family of mechanisms across X values for one dataset,
+// with every (mechanism × x × part × repeat) trial fanned out over the
+// suite's pool.
 func (s *Suite) sweep(dataset string, mechs []string, xs []float64,
 	dOf func(x float64) int, epsOf func(x float64) float64, metric Metric) ([]Series, error) {
-	out := make([]Series, 0, len(mechs))
+	cells := make([]evalCell, 0, len(mechs)*len(xs))
 	for _, mech := range mechs {
-		series := Series{Label: mech}
 		for _, x := range xs {
-			w2, err := s.evalOne(mech, dataset, dOf(x), epsOf(x), metric)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s at x=%v: %w", mech, dataset, x, err)
-			}
+			c := s.mechCell(mech, dataset, dOf(x), epsOf(x), metric)
+			c.label = fmt.Sprintf("%s on %s at x=%v", mech, dataset, x)
+			cells = append(cells, c)
+		}
+	}
+	means, err := s.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, 0, len(mechs))
+	for mi, mech := range mechs {
+		series := Series{Label: mech}
+		for xi, x := range xs {
 			series.X = append(series.X, x)
-			series.Y = append(series.Y, w2)
+			series.Y = append(series.Y, means[mi*len(xs)+xi])
 		}
 		out = append(out, series)
 	}
@@ -194,20 +202,9 @@ func (s *Suite) Fig9LargeEps(dataset string) (*Figure, error) {
 // Fig13 reproduces the full-domain Crime panels of Appendix C: the same
 // four sweeps evaluated on the whole Crime domain instead of per part.
 func (s *Suite) Fig13(panel string) (*Figure, error) {
-	// Full domain = all points of every part as one square domain. We
-	// register it as a synthetic dataset part under a dedicated name.
-	const name = "CrimeFull"
-	if _, ok := s.datasets[name]; !ok {
-		parts, err := s.parts("Crime")
-		if err != nil {
-			return nil, err
-		}
-		var all partData
-		all.name = "full"
-		for _, p := range parts {
-			all.points = append(all.points, p.points...)
-		}
-		s.datasets[name] = []partData{all}
+	name, err := s.ensureFullCrime()
+	if err != nil {
+		return nil, err
 	}
 	switch panel {
 	case "a":
@@ -253,6 +250,28 @@ func (s *Suite) Fig13(panel string) (*Figure, error) {
 	}
 }
 
+// ensureFullCrime registers (once, under the cache lock) the
+// concatenation of every Crime part as the dedicated dataset "CrimeFull":
+// the full domain the Appendix-C panels evaluate.
+func (s *Suite) ensureFullCrime() (string, error) {
+	const name = "CrimeFull"
+	parts, err := s.parts("Crime")
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; !ok {
+		var all partData
+		all.name = "full"
+		for _, p := range parts {
+			all.points = append(all.points, p.points...)
+		}
+		s.datasets[name] = []partData{all}
+	}
+	return name, nil
+}
+
 // Trajectory experiment parameters (Table V).
 var (
 	// TrajectoryDValues drives Figure 14(a).
@@ -265,11 +284,17 @@ var (
 )
 
 // trajWorkload builds (and caches) the Appendix-D trajectory workload on
-// the NYC-like dataset.
+// the NYC-like dataset. Generation is deterministic (its stream derives
+// from the seed alone), so concurrent first callers would store identical
+// values; runners still pre-warm it once to avoid duplicated work.
 func (s *Suite) trajWorkload() ([]trajectory.Trajectory, []geom.Point, error) {
+	s.mu.Lock()
 	if s.trajCache != nil {
-		return s.trajCache, s.trajPoints, nil
+		trajs, pts := s.trajCache, s.trajPoints
+		s.mu.Unlock()
+		return trajs, pts, nil
 	}
+	s.mu.Unlock()
 	parts, err := s.parts("NYC")
 	if err != nil {
 		return nil, nil, err
@@ -290,8 +315,10 @@ func (s *Suite) trajWorkload() ([]trajectory.Trajectory, []geom.Point, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	s.mu.Lock()
 	s.trajCache = trajs
 	s.trajPoints = pts
+	s.mu.Unlock()
 	return trajs, pts, nil
 }
 
@@ -308,68 +335,115 @@ func trajGridD(numPoints int) int {
 	return d
 }
 
-// evalTrajectory measures the point-distribution W₂ of one trajectory
-// mechanism at (d, eps) following the seven-step protocol of Appendix D.
-func (s *Suite) evalTrajectory(mech string, d int, eps float64) (float64, error) {
+// trajPlan is one trajectory cell's materialised inputs: the cached
+// workload bucketed on the cell's sampling domain.
+type trajPlan struct {
+	mech  string
+	eps   float64
+	dom   grid.Domain
+	trajs []trajectory.Trajectory
+	truth *grid.Hist2D
+}
+
+func (s *Suite) planTrajectory(mech string, d int, eps float64) (*trajPlan, error) {
+	switch mech {
+	case "LDPTrace", "PivotTrace", "DAM":
+	default:
+		return nil, fmt.Errorf("experiments: unknown trajectory mechanism %q", mech)
+	}
 	trajs, pts, err := s.trajWorkload()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	dom, err := grid.SquareDomain(pts, d)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	truth := trajectory.PointHist(dom, trajs).Normalize()
+	return &trajPlan{
+		mech:  mech,
+		eps:   eps,
+		dom:   dom,
+		trajs: trajs,
+		truth: trajectory.PointHist(dom, trajs).Normalize(),
+	}, nil
+}
 
-	total := 0.0
-	for rep := 0; rep < s.cfg.Repeats; rep++ {
-		r := rng.New(s.cfg.Seed + uint64(rep)*104729 ^ hashName(mech))
-		var rec []trajectory.Trajectory
-		switch mech {
-		case "LDPTrace":
-			l, err := trajectory.NewLDPTrace(dom, eps, 200)
-			if err != nil {
-				return 0, err
-			}
-			if rec, err = l.Synthesize(trajs, r); err != nil {
-				return 0, err
-			}
-		case "PivotTrace":
-			p, err := trajectory.NewPivotTrace(dom, eps, 4)
-			if err != nil {
-				return 0, err
-			}
-			if rec, err = p.Reconstruct(trajs, r); err != nil {
-				return 0, err
-			}
-		case "DAM":
-			// DAM treats every trajectory point as an independent user
-			// report (the paper's point-statistics transformation).
-			m, err := sam.NewDAM(dom, eps)
-			if err != nil {
-				return 0, err
-			}
-			est, err := m.EstimateHist(trajectory.PointHist(dom, trajs), r)
-			if err != nil {
-				return 0, err
-			}
-			w2, err := s.cfg.W2(truth, est, MetricSinkhorn)
-			if err != nil {
-				return 0, err
-			}
-			total += w2
-			continue
-		default:
-			return 0, fmt.Errorf("experiments: unknown trajectory mechanism %q", mech)
-		}
-		est := trajectory.PointHist(dom, rec).Normalize()
-		w2, err := s.cfg.W2(truth, est, MetricSinkhorn)
+// trajTrial runs one repeat of the seven-step protocol of Appendix D.
+func (s *Suite) trajTrial(p *trajPlan, rep int) (float64, error) {
+	r := rng.New(s.cfg.Seed + uint64(rep)*104729 ^ hashName(p.mech))
+	var rec []trajectory.Trajectory
+	switch p.mech {
+	case "LDPTrace":
+		l, err := trajectory.NewLDPTrace(p.dom, p.eps, 200)
 		if err != nil {
 			return 0, err
 		}
-		total += w2
+		if rec, err = l.Synthesize(p.trajs, r); err != nil {
+			return 0, err
+		}
+	case "PivotTrace":
+		pt, err := trajectory.NewPivotTrace(p.dom, p.eps, 4)
+		if err != nil {
+			return 0, err
+		}
+		if rec, err = pt.Reconstruct(p.trajs, r); err != nil {
+			return 0, err
+		}
+	case "DAM":
+		// DAM treats every trajectory point as an independent user
+		// report (the paper's point-statistics transformation).
+		m, err := sam.NewDAM(p.dom, p.eps)
+		if err != nil {
+			return 0, err
+		}
+		est, err := m.EstimateHist(trajectory.PointHist(p.dom, p.trajs), r)
+		if err != nil {
+			return 0, err
+		}
+		return s.cfg.W2(p.truth, est, MetricSinkhorn)
 	}
-	return total / float64(s.cfg.Repeats), nil
+	est := trajectory.PointHist(p.dom, rec).Normalize()
+	return s.cfg.W2(p.truth, est, MetricSinkhorn)
+}
+
+// runTrajectoryCells evaluates trajectory cells (mechanism at d, eps) on
+// the suite's pool and returns their mean W₂ values in cell order.
+func (s *Suite) runTrajectoryCells(mechs []string, ds []int, epss []float64) ([]float64, error) {
+	// Pre-warm the shared workload once so concurrent plans hit the cache.
+	if _, _, err := s.trajWorkload(); err != nil {
+		return nil, err
+	}
+	plans := make([]*trajPlan, len(mechs))
+	results, err := s.runTrialPhases(len(mechs),
+		func(i int) (int, error) {
+			p, err := s.planTrajectory(mechs[i], ds[i], epss[i])
+			if err != nil {
+				return 0, err
+			}
+			plans[i] = p
+			return s.cfg.Repeats, nil
+		},
+		func(i, rep int) (float64, error) {
+			return s.trajTrial(plans[i], rep)
+		})
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, len(results))
+	for i, vs := range results {
+		means[i] = mean(vs)
+	}
+	return means, nil
+}
+
+// evalTrajectory measures the point-distribution W₂ of one trajectory
+// mechanism at (d, eps) following the seven-step protocol of Appendix D.
+func (s *Suite) evalTrajectory(mech string, d int, eps float64) (float64, error) {
+	means, err := s.runTrajectoryCells([]string{mech}, []int{d}, []float64{eps})
+	if err != nil {
+		return 0, err
+	}
+	return means[0], nil
 }
 
 // TrajectoryMechanismNames lists the Figure 14 legend.
@@ -377,22 +451,34 @@ func TrajectoryMechanismNames() []string {
 	return []string{"LDPTrace", "PivotTrace", "DAM"}
 }
 
-// Fig14a reproduces Figure 14(a): trajectory W₂ vs d at ε=1.5.
+// Fig14a reproduces Figure 14(a): trajectory W₂ vs d at ε=1.5, all
+// (mechanism × d × repeat) trials fanned out over the suite's pool.
 func (s *Suite) Fig14a() (*Figure, error) {
 	fig := &Figure{
 		Name:   "fig14a",
 		Title:  "Trajectory W2 vs d on NYC (eps=1.5)",
 		XLabel: "d", YLabel: "W2",
 	}
-	for _, mech := range TrajectoryMechanismNames() {
-		series := Series{Label: mech}
+	names := TrajectoryMechanismNames()
+	var mechs []string
+	var ds []int
+	var epss []float64
+	for _, mech := range names {
 		for _, d := range TrajectoryDValues {
-			w2, err := s.evalTrajectory(mech, d, TrajectoryDefaultEps)
-			if err != nil {
-				return nil, err
-			}
+			mechs = append(mechs, mech)
+			ds = append(ds, d)
+			epss = append(epss, TrajectoryDefaultEps)
+		}
+	}
+	means, err := s.runTrajectoryCells(mechs, ds, epss)
+	if err != nil {
+		return nil, err
+	}
+	for mi, mech := range names {
+		series := Series{Label: mech}
+		for di, d := range TrajectoryDValues {
 			series.X = append(series.X, float64(d))
-			series.Y = append(series.Y, w2)
+			series.Y = append(series.Y, means[mi*len(TrajectoryDValues)+di])
 		}
 		fig.Series = append(fig.Series, series)
 	}
@@ -406,15 +492,26 @@ func (s *Suite) Fig14b() (*Figure, error) {
 		Title:  "Trajectory W2 vs eps on NYC (d=15)",
 		XLabel: "eps", YLabel: "W2",
 	}
-	for _, mech := range TrajectoryMechanismNames() {
-		series := Series{Label: mech}
+	names := TrajectoryMechanismNames()
+	var mechs []string
+	var ds []int
+	var epss []float64
+	for _, mech := range names {
 		for _, eps := range TrajectoryEpsValues {
-			w2, err := s.evalTrajectory(mech, TrajectoryDefaultD, eps)
-			if err != nil {
-				return nil, err
-			}
+			mechs = append(mechs, mech)
+			ds = append(ds, TrajectoryDefaultD)
+			epss = append(epss, eps)
+		}
+	}
+	means, err := s.runTrajectoryCells(mechs, ds, epss)
+	if err != nil {
+		return nil, err
+	}
+	for mi, mech := range names {
+		series := Series{Label: mech}
+		for ei, eps := range TrajectoryEpsValues {
 			series.X = append(series.X, eps)
-			series.Y = append(series.Y, w2)
+			series.Y = append(series.Y, means[mi*len(TrajectoryEpsValues)+ei])
 		}
 		fig.Series = append(fig.Series, series)
 	}

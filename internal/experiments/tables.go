@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -59,8 +60,8 @@ func (s *Suite) Table5() *Table {
 }
 
 // SummarizeShapes audits a set of figures against the paper's qualitative
-// claims and returns human-readable pass/fail lines — the
-// paper-vs-measured record that EXPERIMENTS.md captures.
+// claims and returns human-readable pass/fail lines in figure-name order
+// — the paper-vs-measured record that EXPERIMENTS.md captures.
 func SummarizeShapes(figs map[string]*Figure) []string {
 	var out []string
 	check := func(name, claim string, ok bool) {
@@ -90,7 +91,13 @@ func SummarizeShapes(figs map[string]*Figure) []string {
 		}
 		return true
 	}
-	for name, f := range figs {
+	names := make([]string, 0, len(figs))
+	for name := range figs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := figs[name]
 		if f == nil {
 			continue
 		}

@@ -1,0 +1,71 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dpspatial/internal/rng"
+)
+
+// CollectParallel simulates per-user categorical reporting through the
+// channel with the per-user draws fanned out across workers. Input cells
+// are partitioned into contiguous chunks, one per worker, and worker w
+// owns the deterministic stream rng.New(seed ^ (w+1)·φ) — so the
+// aggregate counts are reproducible for a fixed seed and worker count,
+// though they differ from a sequential single-stream collection.
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func CollectParallel(ch *Channel, trueCounts []float64, seed uint64, workers int) ([]float64, error) {
+	if len(trueCounts) != ch.In {
+		return nil, fmt.Errorf("fo: %d true counts for %d inputs", len(trueCounts), ch.In)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for i, c := range trueCounts {
+		if c < 0 || c != math.Trunc(c) {
+			return nil, fmt.Errorf("fo: invalid count %v at cell %d", c, i)
+		}
+	}
+	samplers, err := ch.Samplers()
+	if err != nil {
+		return nil, err
+	}
+
+	chunk := (ch.In + workers - 1) / workers
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ch.In {
+			hi = ch.In
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			r := rng.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
+			out := make([]float64, ch.Out)
+			for i := lo; i < hi; i++ {
+				for k := 0; k < int(trueCounts[i]); k++ {
+					out[samplers[i].Draw(r)]++
+				}
+			}
+			results[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := make([]float64, ch.Out)
+	for _, out := range results {
+		for j, v := range out {
+			total[j] += v
+		}
+	}
+	return total, nil
+}

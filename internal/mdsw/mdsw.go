@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
 	"dpspatial/internal/rng"
 )
@@ -13,16 +14,44 @@ import (
 // the whole report satisfies ε-LDP), each marginal is estimated with
 // SW-EMS, and the joint is reconstructed as the product of marginals.
 type MDSW struct {
-	dom grid.Domain
-	eps float64
-	swx *SW
-	swy *SW
+	dom     grid.Domain
+	eps     float64
+	swx     *SW
+	swy     *SW
+	workers int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
+}
+
+// Option configures mechanism construction.
+type Option func(*config)
+
+type config struct {
+	workers *int
+}
+
+// WithWorkers routes EstimateHist's collection step through
+// CollectParallel with this many workers (0 = GOMAXPROCS). The default of
+// 1 keeps collection sequential on the caller's RNG stream; any other
+// value draws per-worker streams, so results are reproducible only for a
+// fixed seed and worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = &n }
 }
 
 // NewMDSW builds the 2-D mechanism over the domain's d×d grid.
-func NewMDSW(dom grid.Domain, eps float64) (*MDSW, error) {
+func NewMDSW(dom grid.Domain, eps float64, opts ...Option) (*MDSW, error) {
 	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("mdsw: invalid epsilon %v", eps)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := 1
+	if cfg.workers != nil {
+		workers = *cfg.workers
+		if workers < 0 {
+			return nil, fmt.Errorf("mdsw: negative worker count %d", workers)
+		}
 	}
 	swx, err := NewSW(dom.D, eps/2)
 	if err != nil {
@@ -32,7 +61,7 @@ func NewMDSW(dom grid.Domain, eps float64) (*MDSW, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MDSW{dom: dom, eps: eps, swx: swx, swy: swy}, nil
+	return &MDSW{dom: dom, eps: eps, swx: swx, swy: swy, workers: workers}, nil
 }
 
 // Name returns the mechanism's display name.
@@ -55,23 +84,69 @@ func (m *MDSW) Perturb(input int, r *rng.RNG) Report {
 	return Report{X: m.swx.Perturb(c.X, r), Y: m.swy.Perturb(c.Y, r)}
 }
 
+// CollectParallel perturbs every user with the per-user draws fanned out
+// across workers and returns the aggregated per-bucket marginal counts
+// (X, Y). Each axis reports only its own coordinate, so the 2-D counts
+// reduce to per-axis marginal true counts pushed through the axis
+// channels by fo.CollectParallel — one deterministic stream family per
+// (axis, worker), reproducible for a fixed seed and worker count, though
+// the streams differ from the sequential EstimateHist path. workers ≤ 0
+// selects GOMAXPROCS.
+func (m *MDSW) CollectParallel(trueCounts []float64, seed uint64, workers int) ([]float64, []float64, error) {
+	d := m.dom.D
+	if len(trueCounts) != m.dom.NumCells() {
+		return nil, nil, fmt.Errorf("mdsw: %d true counts for %d cells", len(trueCounts), m.dom.NumCells())
+	}
+	for i, c := range trueCounts {
+		if c < 0 || c != math.Trunc(c) {
+			return nil, nil, fmt.Errorf("mdsw: invalid count %v at cell %d", c, i)
+		}
+	}
+	margX := make([]float64, d)
+	margY := make([]float64, d)
+	for i, c := range trueCounts {
+		cell := m.dom.CellAt(i)
+		margX[cell.X] += c
+		margY[cell.Y] += c
+	}
+	countsX, err := fo.CollectParallel(m.swx.Channel(), margX, seed, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	countsY, err := fo.CollectParallel(m.swy.Channel(), margY, seed^0xd1b54a32d192ed03, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return countsX, countsY, nil
+}
+
 // EstimateHist runs the full pipeline on a true count histogram: perturb
 // every user, estimate both marginals with SW-EMS, and return the product
-// joint over the input grid.
+// joint over the input grid. With WithWorkers ≠ 1 the collection step
+// fans out through CollectParallel, seeded from the caller's stream.
 func (m *MDSW) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
 	if truth.Dom.D != m.dom.D {
 		return nil, fmt.Errorf("mdsw: histogram d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
 	}
-	countsX := make([]float64, m.swx.NumOutputs())
-	countsY := make([]float64, m.swy.NumOutputs())
-	for i, c := range truth.Mass {
-		if c < 0 || c != math.Trunc(c) {
-			return nil, fmt.Errorf("mdsw: invalid count %v at cell %d", c, i)
+	var countsX, countsY []float64
+	if m.workers != 1 {
+		var err error
+		countsX, countsY, err = m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
+		if err != nil {
+			return nil, err
 		}
-		for k := 0; k < int(c); k++ {
-			rep := m.Perturb(i, r)
-			countsX[rep.X]++
-			countsY[rep.Y]++
+	} else {
+		countsX = make([]float64, m.swx.NumOutputs())
+		countsY = make([]float64, m.swy.NumOutputs())
+		for i, c := range truth.Mass {
+			if c < 0 || c != math.Trunc(c) {
+				return nil, fmt.Errorf("mdsw: invalid count %v at cell %d", c, i)
+			}
+			for k := 0; k < int(c); k++ {
+				rep := m.Perturb(i, r)
+				countsX[rep.X]++
+				countsY[rep.Y]++
+			}
 		}
 	}
 	fx, err := m.swx.Estimate(countsX)

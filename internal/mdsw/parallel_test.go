@@ -1,0 +1,124 @@
+package mdsw
+
+import (
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+func TestCollectParallelConservesUsers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMDSW(dom, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 1, Y: 2}, 1234)
+	truth.Set(geom.Cell{X: 4, Y: 4}, 4321)
+	for _, workers := range []int{1, 2, 7, 0} {
+		countsX, countsY, err := m.CollectParallel(truth.Mass, 9, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var totalX, totalY float64
+		for _, c := range countsX {
+			totalX += c
+		}
+		for _, c := range countsY {
+			totalY += c
+		}
+		if totalX != 5555 || totalY != 5555 {
+			t.Fatalf("workers=%d: collected (%v, %v) marginal reports, want 5555 each", workers, totalX, totalY)
+		}
+	}
+}
+
+func TestCollectParallelDeterministicPerSeedAndWorkers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMDSW(dom, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 2, Y: 2}, 2000)
+	ax, ay, err := m.CollectParallel(truth.Mass, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, by, err := m.CollectParallel(truth.Mass, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ax {
+		if ax[i] != bx[i] {
+			t.Fatal("same seed and worker count diverged on X")
+		}
+	}
+	for i := range ay {
+		if ay[i] != by[i] {
+			t.Fatal("same seed and worker count diverged on Y")
+		}
+	}
+}
+
+func TestCollectParallelRejectsInvalid(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMDSW(dom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.CollectParallel(make([]float64, 2), 1, 2); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	bad := make([]float64, dom.NumCells())
+	bad[0] = -1
+	if _, _, err := m.CollectParallel(bad, 1, 2); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestEstimateHistWithWorkers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMDSW(dom, 2, WithWorkers(-1)); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	m, err := NewMDSW(dom, 2, WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 1, Y: 1}, 3000)
+	truth.Set(geom.Cell{X: 4, Y: 2}, 2000)
+	a, err := m.EstimateHist(truth, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstimateHist(truth, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := range a.Mass {
+		if a.Mass[i] != b.Mass[i] {
+			t.Fatal("same seed and worker count diverged")
+		}
+		sum += a.Mass[i]
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("estimate not normalised: total %v", sum)
+	}
+}

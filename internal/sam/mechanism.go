@@ -33,6 +33,7 @@ type Mechanism struct {
 	qHat    float64 // probability of a unit cell at weight 1
 	channel *fo.Channel
 	smooth  bool
+	workers int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
 }
 
 type weightedOffset struct {
@@ -44,8 +45,9 @@ type weightedOffset struct {
 type Option func(*config)
 
 type config struct {
-	bHat   *int
-	smooth bool
+	bHat    *int
+	smooth  bool
+	workers *int
 }
 
 // WithBHat overrides the discrete radius b̂ (otherwise ⌊b̌⌋ from Section
@@ -57,6 +59,15 @@ func WithBHat(b int) Option {
 // WithSmoothing enables 2-D EMS smoothing during post-processing.
 func WithSmoothing() Option {
 	return func(c *config) { c.smooth = true }
+}
+
+// WithWorkers routes EstimateHist's collection step through
+// CollectParallel with this many workers (0 = GOMAXPROCS). The default of
+// 1 keeps collection sequential and byte-compatible with Collect's RNG
+// stream; any other value draws per-worker streams instead, so results
+// are reproducible only for a fixed seed and worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = &n }
 }
 
 // NewDAM builds the discrete Disk Area Mechanism with border shrinkage
@@ -160,7 +171,15 @@ func build(name string, dom grid.Domain, eps float64, wf weightsFunc, opts ...Op
 		}
 	}
 
-	m := &Mechanism{name: name, dom: dom, eps: eps, bHat: bHat, smooth: cfg.smooth}
+	workers := 1
+	if cfg.workers != nil {
+		workers = *cfg.workers
+		if workers < 0 {
+			return nil, fmt.Errorf("sam: negative worker count %d", workers)
+		}
+	}
+
+	m := &Mechanism{name: name, dom: dom, eps: eps, bHat: bHat, smooth: cfg.smooth, workers: workers}
 	m.offsets = wf(eps, bHat)
 	sort.Slice(m.offsets, func(i, j int) bool {
 		a, b := m.offsets[i].off, m.offsets[j].off
@@ -327,13 +346,23 @@ func (m *Mechanism) Collect(trueCounts []float64, r *rng.RNG) ([]float64, error)
 	return out, nil
 }
 
+// Workers returns the configured collection fan-out (1 = sequential).
+func (m *Mechanism) Workers() int { return m.workers }
+
 // EstimateHist runs Collect then Estimate and wraps the result as a
-// histogram over the input domain.
+// histogram over the input domain. With WithWorkers ≠ 1 the collection
+// step fans out through CollectParallel, seeded from the caller's stream.
 func (m *Mechanism) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
 	if truth.Dom.D != m.dom.D {
 		return nil, fmt.Errorf("sam: histogram domain d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
 	}
-	noisy, err := m.Collect(truth.Mass, r)
+	var noisy []float64
+	var err error
+	if m.workers == 1 {
+		noisy, err = m.Collect(truth.Mass, r)
+	} else {
+		noisy, err = m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,69 +1,15 @@
 package sam
 
 import (
-	"fmt"
-	"math"
-	"runtime"
-	"sync"
-
-	"dpspatial/internal/rng"
+	"dpspatial/internal/fo"
 )
 
 // CollectParallel is Collect with the per-user perturbation fanned out
 // across workers. Each worker owns a deterministic RNG stream derived
 // from (seed, worker index), so the aggregate counts are reproducible for
 // a fixed seed and worker count — though they differ from the sequential
-// Collect's stream.
+// Collect's stream. The chunked fan-out (and the input validation) lives
+// in fo.CollectParallel, shared with the other channel mechanisms.
 func (m *Mechanism) CollectParallel(trueCounts []float64, seed uint64, workers int) ([]float64, error) {
-	if len(trueCounts) != m.NumInputs() {
-		return nil, fmt.Errorf("sam: %d true counts for %d cells", len(trueCounts), m.NumInputs())
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	for i, c := range trueCounts {
-		if c < 0 || c != math.Trunc(c) {
-			return nil, fmt.Errorf("sam: invalid count %v at cell %d", c, i)
-		}
-	}
-	samplers, err := m.Samplers()
-	if err != nil {
-		return nil, err
-	}
-
-	// Partition input cells across workers in contiguous chunks.
-	chunk := (m.NumInputs() + workers - 1) / workers
-	results := make([][]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m.NumInputs() {
-			hi = m.NumInputs()
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			r := rng.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
-			out := make([]float64, m.NumOutputs())
-			for i := lo; i < hi; i++ {
-				for k := 0; k < int(trueCounts[i]); k++ {
-					out[samplers[i].Draw(r)]++
-				}
-			}
-			results[w] = out
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	total := make([]float64, m.NumOutputs())
-	for _, out := range results {
-		for j, v := range out {
-			total[j] += v
-		}
-	}
-	return total, nil
+	return fo.CollectParallel(m.channel, trueCounts, seed, workers)
 }

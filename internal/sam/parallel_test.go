@@ -5,6 +5,7 @@ import (
 
 	"dpspatial/internal/geom"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
 )
 
 func TestCollectParallelConservesUsers(t *testing.T) {
@@ -81,6 +82,44 @@ func TestCollectParallelStatisticallyMatchesChannel(t *testing.T) {
 		if diff := c - want; diff > 5*(want+100) || diff < -0.5*want-500 {
 			t.Fatalf("output %d count %v, expected ≈%v", j, c, want)
 		}
+	}
+}
+
+func TestEstimateHistWithWorkers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDAM(dom, 2, WithWorkers(-1)); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	m, err := NewDAM(dom, 2, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", m.Workers())
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 1, Y: 3}, 2500)
+	truth.Set(geom.Cell{X: 5, Y: 0}, 1500)
+	a, err := m.EstimateHist(truth, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstimateHist(truth, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := range a.Mass {
+		if a.Mass[i] != b.Mass[i] {
+			t.Fatal("same seed and worker count diverged")
+		}
+		sum += a.Mass[i]
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("estimate not normalised: total %v", sum)
 	}
 }
 

@@ -1,0 +1,89 @@
+package semgeoi
+
+import (
+	"testing"
+
+	"dpspatial/internal/geom"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+)
+
+func TestCollectParallelConservesUsers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(dom, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 1, Y: 2}, 1500)
+	truth.Set(geom.Cell{X: 3, Y: 4}, 2500)
+	for _, workers := range []int{1, 3, 0} {
+		counts, err := m.CollectParallel(truth.Mass, 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, c := range counts {
+			total += c
+		}
+		if total != 4000 {
+			t.Fatalf("workers=%d: collected %v, want 4000", workers, total)
+		}
+	}
+}
+
+func TestCollectParallelRejectsInvalid(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(dom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CollectParallel(make([]float64, 2), 1, 2); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	bad := make([]float64, dom.NumCells())
+	bad[0] = 0.5
+	if _, err := m.CollectParallel(bad, 1, 2); err == nil {
+		t.Fatal("fractional count accepted")
+	}
+}
+
+func TestEstimateHistWithWorkers(t *testing.T) {
+	dom, err := grid.NewDomain(0, 0, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(dom, 2, WithWorkers(-2)); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	m, err := New(dom, 2, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewHist(dom)
+	truth.Set(geom.Cell{X: 2, Y: 2}, 4000)
+	a, err := m.EstimateHist(truth, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstimateHist(truth, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := range a.Mass {
+		if a.Mass[i] != b.Mass[i] {
+			t.Fatal("same seed and worker count diverged")
+		}
+		sum += a.Mass[i]
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("estimate not normalised: total %v", sum)
+	}
+}

@@ -36,18 +36,29 @@ type Mechanism struct {
 	ballR    float64 // ball radius in cell units realising k cells
 	channel  *fo.Channel
 	ballOffs []geom.Cell
+	workers  int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
 }
 
 // Option configures the mechanism.
 type Option func(*config)
 
 type config struct {
-	k *int
+	k       *int
+	workers *int
 }
 
 // WithSubsetSize overrides the subset size k.
 func WithSubsetSize(k int) Option {
 	return func(c *config) { c.k = &k }
+}
+
+// WithWorkers routes EstimateHist's collection step through
+// CollectParallel with this many workers (0 = GOMAXPROCS). The default of
+// 1 keeps collection sequential on the caller's RNG stream; any other
+// value draws per-worker streams, so results are reproducible only for a
+// fixed seed and worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = &n }
 }
 
 // New builds SEM-Geo-I with per-cell-unit budget epsGeo > 0.
@@ -67,7 +78,14 @@ func New(dom grid.Domain, epsGeo float64, opts ...Option) (*Mechanism, error) {
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("semgeoi: subset size %d outside [1, %d]", k, n)
 	}
-	m := &Mechanism{dom: dom, epsGeo: epsGeo, k: k}
+	workers := 1
+	if cfg.workers != nil {
+		workers = *cfg.workers
+		if workers < 0 {
+			return nil, fmt.Errorf("semgeoi: negative worker count %d", workers)
+		}
+	}
+	m := &Mechanism{dom: dom, epsGeo: epsGeo, k: k, workers: workers}
 	m.ballOffs = ballOffsets(k)
 	m.ballR = 0
 	for _, o := range m.ballOffs {
@@ -183,22 +201,42 @@ func (m *Mechanism) Estimate(counts []float64) ([]float64, error) {
 	return em.Estimate(m.channel, counts, nil)
 }
 
-// EstimateHist runs the full collect-and-estimate pipeline.
+// CollectParallel simulates every user's subset report with the per-user
+// draws fanned out across workers (contiguous input-cell chunks, one
+// deterministic RNG stream per worker — reproducible for a fixed seed and
+// worker count; validation lives in fo.CollectParallel). workers ≤ 0
+// selects GOMAXPROCS.
+func (m *Mechanism) CollectParallel(trueCounts []float64, seed uint64, workers int) ([]float64, error) {
+	return fo.CollectParallel(m.channel, trueCounts, seed, workers)
+}
+
+// EstimateHist runs the full collect-and-estimate pipeline. With
+// WithWorkers ≠ 1 the collection step fans out through CollectParallel,
+// seeded from the caller's stream.
 func (m *Mechanism) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
 	if truth.Dom.D != m.dom.D {
 		return nil, fmt.Errorf("semgeoi: histogram d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
 	}
-	samplers, err := m.channel.Samplers()
-	if err != nil {
-		return nil, err
-	}
-	counts := make([]float64, m.NumOutputs())
-	for i, c := range truth.Mass {
-		if c < 0 || c != math.Trunc(c) {
-			return nil, fmt.Errorf("semgeoi: invalid count %v at cell %d", c, i)
+	var counts []float64
+	if m.workers != 1 {
+		var err error
+		counts, err = m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
+		if err != nil {
+			return nil, err
 		}
-		for u := 0; u < int(c); u++ {
-			counts[samplers[i].Draw(r)]++
+	} else {
+		samplers, err := m.channel.Samplers()
+		if err != nil {
+			return nil, err
+		}
+		counts = make([]float64, m.NumOutputs())
+		for i, c := range truth.Mass {
+			if c < 0 || c != math.Trunc(c) {
+				return nil, fmt.Errorf("semgeoi: invalid count %v at cell %d", c, i)
+			}
+			for u := 0; u < int(c); u++ {
+				counts[samplers[i].Draw(r)]++
+			}
 		}
 	}
 	est, err := m.Estimate(counts)
