@@ -202,6 +202,7 @@ func cmdGen(args []string) error {
 func cmdEstimate(args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV with x,y columns")
+	fromAgg := fs.String("from-aggregate", "", "decode a merged aggregate file instead of collecting from CSV points")
 	d := fs.Int("d", 15, "grid side length")
 	eps := fs.Float64("eps", 3.5, "privacy budget")
 	mech := fs.String("mech", "DAM", "mechanism: "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
@@ -211,16 +212,23 @@ func cmdEstimate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("missing --in")
+	var est *dpspatial.Histogram
+	var err error
+	switch {
+	case *fromAgg != "":
+		est, err = estimateFromAggregateFile(*fromAgg)
+	case *in != "":
+		var pts []dpspatial.Point
+		pts, err = readPointsCSV(*in)
+		if err != nil {
+			return err
+		}
+		est, err = dpspatial.Estimate(pts, *d, *eps,
+			dpspatial.WithMechanism(*mech), dpspatial.WithSeed(*seed),
+			dpspatial.WithWorkers(*workers))
+	default:
+		return fmt.Errorf("missing --in or --from-aggregate")
 	}
-	pts, err := readPointsCSV(*in)
-	if err != nil {
-		return err
-	}
-	est, err := dpspatial.Estimate(pts, *d, *eps,
-		dpspatial.WithMechanism(*mech), dpspatial.WithSeed(*seed),
-		dpspatial.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}

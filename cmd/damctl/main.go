@@ -8,7 +8,10 @@
 //	damctl tables --table 3|4|5
 //	damctl shapes                 # audit key figures against the paper's claims
 //	damctl gen    --dataset Crime --out points.csv [--scale 0.05]
+//	damctl report --in points.csv --d 15 --eps 3.5 [--mech DAM] [--shards 4 --out rep]
+//	damctl aggregate [--out agg.json] reports.jsonl|shard.json|- ...
 //	damctl estimate --in points.csv --d 15 --eps 3.5 [--mech DAM] [--workers 1]
+//	damctl estimate --from-aggregate agg.json
 //	damctl demo                   # before/after ASCII density maps
 package main
 
@@ -33,6 +36,10 @@ func main() {
 		err = cmdShapes(os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "aggregate":
+		err = cmdAggregate(os.Args[2:])
 	case "estimate":
 		err = cmdEstimate(os.Args[2:])
 	case "ablate":
@@ -60,7 +67,10 @@ Commands:
   tables    print a paper table (--table 3, 4 or 5)
   shapes    audit key figures against the paper's qualitative claims
   gen       generate a dataset to CSV (--dataset Crime|NYC|Normal|SZipf|MNormal)
+  report    client stage: one LDP report per user (--in file [--shards k])
+  aggregate aggregator stage: count reports / merge shards (files or '-')
   estimate  run the DP pipeline on CSV points (--in file --d 15 --eps 3.5)
+            or decode a merged aggregate (--from-aggregate agg.json)
   ablate    ablation studies (--what shrink|post|baselines|rangequery)
   demo      ASCII before/after density maps on synthetic data
 

@@ -16,11 +16,19 @@
 // Mechanism.EstimateHist yourself. Every mechanism satisfies ε-LDP over
 // grid cells; privacy is enforced per report, and post-processing (EM)
 // cannot weaken it.
+//
+// Distributed control: every mechanism also implements
+// ReportingMechanism — the explicit client / aggregator / estimator
+// lifecycle (see lifecycle.go). Encode one user's Report on a device,
+// Add reports into sharded Aggregates, Merge the shards in any order,
+// and decode once with EstimateFromAggregate; EstimateHist is a thin
+// in-process wrapper over the same stages.
 package dpspatial
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"dpspatial/internal/fo"
 	"dpspatial/internal/geom"
@@ -213,10 +221,45 @@ func LocalPrivacy(dom Domain, m Mechanism) (float64, error) {
 	}
 }
 
+// calibrationKey identifies a SEM-Geo-I calibration result. Both the DAM
+// target and the SEM-Geo-I channels depend on the domain only through its
+// grid side d (all distances are in cell units), so one bisection serves
+// every domain with the same (d, ε).
+type calibrationKey struct {
+	d   int
+	eps float64
+}
+
+var (
+	calibrationMu   sync.Mutex
+	calibrationMemo = map[calibrationKey]float64{}
+)
+
 // CalibrateSEMGeoI finds the Geo-I budget at which SEM-Geo-I's local
 // privacy equals that of DAM with budget eps on the same domain — the
-// paper's apples-to-apples comparison setting.
+// paper's apples-to-apples comparison setting. The bisection (60
+// iterations, each building a full channel) runs once per (d, ε);
+// repeated calls return the memoized budget.
 func CalibrateSEMGeoI(dom Domain, eps float64) (float64, error) {
+	key := calibrationKey{d: dom.D, eps: eps}
+	calibrationMu.Lock()
+	if epsGeo, ok := calibrationMemo[key]; ok {
+		calibrationMu.Unlock()
+		return epsGeo, nil
+	}
+	calibrationMu.Unlock()
+
+	epsGeo, err := calibrateSEMGeoI(dom, eps)
+	if err != nil {
+		return 0, err
+	}
+	calibrationMu.Lock()
+	calibrationMemo[key] = epsGeo
+	calibrationMu.Unlock()
+	return epsGeo, nil
+}
+
+func calibrateSEMGeoI(dom Domain, eps float64) (float64, error) {
 	dam, err := sam.NewDAM(dom, eps)
 	if err != nil {
 		return 0, err
@@ -276,6 +319,32 @@ func EstimateMechanismNames() []string {
 	return []string{"DAM", "DAM-NS", "HUEM", "MDSW", "SEM-Geo-I"}
 }
 
+// NewMechanism builds a mechanism by name over the domain with ε-LDP
+// budget eps — the same construction Estimate performs internally.
+// "SEM-Geo-I" calibrates its Geo-I budget with CalibrateSEMGeoI so its
+// local privacy matches DAM's at the same ε.
+func NewMechanism(name string, dom Domain, eps float64, opts ...Option) (Mechanism, error) {
+	switch name {
+	case "DAM":
+		return NewDAM(dom, eps, opts...)
+	case "DAM-NS":
+		return NewDAMNS(dom, eps, opts...)
+	case "HUEM":
+		return NewHUEM(dom, eps, opts...)
+	case "MDSW":
+		return NewMDSW(dom, eps, opts...)
+	case "SEM-Geo-I":
+		epsGeo, err := CalibrateSEMGeoI(dom, eps)
+		if err != nil {
+			return nil, err
+		}
+		return NewSEMGeoI(dom, epsGeo, opts...)
+	default:
+		return nil, fmt.Errorf("dpspatial: unknown mechanism %q (accepted: %s)",
+			name, strings.Join(EstimateMechanismNames(), ", "))
+	}
+}
+
 // Estimate is the one-call pipeline: fit a d×d domain over the points,
 // bucketise, run the selected ε-LDP mechanism for every point, and return
 // the estimated (normalised) spatial distribution.
@@ -292,27 +361,7 @@ func Estimate(points []Point, d int, eps float64, opts ...EstimateOption) (*Hist
 		return nil, err
 	}
 	truth := HistFromPoints(dom, points)
-	var mech Mechanism
-	switch cfg.mechanism {
-	case "DAM":
-		mech, err = NewDAM(dom, eps, cfg.opts...)
-	case "DAM-NS":
-		mech, err = NewDAMNS(dom, eps, cfg.opts...)
-	case "HUEM":
-		mech, err = NewHUEM(dom, eps, cfg.opts...)
-	case "MDSW":
-		mech, err = NewMDSW(dom, eps, cfg.opts...)
-	case "SEM-Geo-I":
-		var epsGeo float64
-		epsGeo, err = CalibrateSEMGeoI(dom, eps)
-		if err != nil {
-			return nil, err
-		}
-		mech, err = NewSEMGeoI(dom, epsGeo, cfg.opts...)
-	default:
-		return nil, fmt.Errorf("dpspatial: unknown mechanism %q (accepted: %s)",
-			cfg.mechanism, strings.Join(EstimateMechanismNames(), ", "))
-	}
+	mech, err := NewMechanism(cfg.mechanism, dom, eps, cfg.opts...)
 	if err != nil {
 		return nil, err
 	}

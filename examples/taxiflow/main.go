@@ -1,11 +1,15 @@
 // Taxiflow: private demand estimation for a ride-hailing service (the
-// paper's introduction scenario), comparing the mechanisms head to head.
+// paper's introduction scenario), run over the distributed report
+// lifecycle the way a production deployment would.
 //
 // Drivers' pickup locations are sensitive. Each pickup is randomised on
-// device; the platform estimates the demand distribution to position
-// supply. The example runs DAM, HUEM, DAM-NS and MDSW over the same noisy
-// setting and reports their Wasserstein errors — the smaller, the better
-// the dispatch decisions downstream.
+// device — one compact LDP Report per driver — and the reports stream to
+// several independent aggregation shards. The shards hold only noisy
+// counts (safe for untrusted infrastructure), merge associatively in any
+// order, and the merged aggregate is decoded once by the estimation
+// service. The example compares DAM, HUEM, DAM-NS and MDSW over the same
+// noisy setting and reports their Wasserstein errors — the smaller, the
+// better the dispatch decisions downstream.
 package main
 
 import (
@@ -19,8 +23,9 @@ import (
 
 func main() {
 	const (
-		d   = 12
-		eps = 2.1
+		d      = 12
+		eps    = 2.1
+		shards = 4 // independent aggregation shards
 	)
 	ds, err := synth.NYCGreenTaxiLike(rng.New(2016), 1.0)
 	if err != nil {
@@ -38,8 +43,8 @@ func main() {
 	truth := dpspatial.HistFromPoints(dom, pts)
 	normTruth := truth.Clone().Normalize()
 
-	fmt.Printf("Private taxi-demand estimation: %d pickups, %d×%d grid, eps=%.1f\n\n",
-		len(pts), d, d, eps)
+	fmt.Printf("Private taxi-demand estimation: %d pickups, %d×%d grid, eps=%.1f, %d aggregation shards\n\n",
+		len(pts), d, d, eps, shards)
 	fmt.Println("True demand:")
 	fmt.Print(normTruth.Render())
 
@@ -59,11 +64,41 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		rm, err := dpspatial.AsReporting(mech)
+		if err != nil {
+			log.Fatal(err)
+		}
 		// Average a few collection rounds: LDP noise dominates at this n.
 		const rounds = 3
 		total := 0.0
 		for round := uint64(0); round < rounds; round++ {
-			est, err := mech.EstimateHist(truth, dpspatial.NewRand(100+round))
+			// Client stage: every driver encodes one report on device and
+			// ships it to one of the shards (round-robin here; any
+			// assignment works — aggregation is order-independent).
+			aggs := make([]*dpspatial.Aggregate, shards)
+			for s := range aggs {
+				aggs[s] = rm.NewAggregate()
+			}
+			r := dpspatial.NewRand(100 + round)
+			for u, p := range pts {
+				rep, err := rm.Report(dom.Index(dom.CellOf(p)), r)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := aggs[u%shards].Add(rep); err != nil {
+					log.Fatal(err)
+				}
+			}
+			// Aggregator stage: shards merge pairwise — associative and
+			// commutative, so a tree, a chain or a stream all agree.
+			merged := aggs[0]
+			for _, shard := range aggs[1:] {
+				if err := merged.Merge(shard); err != nil {
+					log.Fatal(err)
+				}
+			}
+			// Estimator stage: decode the merged noisy counts once.
+			est, err := rm.EstimateFromAggregate(merged)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,236 @@
+package fo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Aggregate is the server side of the report lifecycle: per-plane output
+// counts accumulated from individual reports. Add and Merge are
+// associative and commutative, so aggregation can be sharded across
+// machines and merged in any grouping or order with a bit-identical
+// result (counts are small integers, exactly representable in float64),
+// and the deterministic binary/JSON encodings make aggregates safe to
+// ship between processes.
+type Aggregate struct {
+	// Scheme is the report format this aggregate accumulates; Merge
+	// refuses to combine aggregates with different schemes.
+	Scheme string `json:"scheme"`
+	// Planes holds one count vector per reporting plane.
+	Planes [][]float64 `json:"planes"`
+	// N is the number of reports absorbed (directly or via Merge). It is
+	// the user count estimators such as OUE's need alongside the counts.
+	N float64 `json:"n"`
+}
+
+// NewAggregateFor allocates an empty aggregate matching the reporter's
+// scheme and plane shape.
+func NewAggregateFor(rep Reporter) *Aggregate {
+	shape := rep.ReportShape()
+	planes := make([][]float64, len(shape))
+	for i, n := range shape {
+		planes[i] = make([]float64, n)
+	}
+	return &Aggregate{Scheme: rep.Scheme(), Planes: planes}
+}
+
+// AggregateFromCounts wraps already-aggregated per-plane counts (for
+// example from a parallel bulk collection). Every plane must carry the
+// same total, which becomes N. This is only correct for reporters that
+// emit exactly one index per plane per report (every spatial mechanism);
+// multi-index reporters like OUE must Add reports individually so N
+// counts users, not support observations.
+func AggregateFromCounts(scheme string, planes ...[]float64) (*Aggregate, error) {
+	if len(planes) == 0 {
+		return nil, fmt.Errorf("fo: aggregate needs at least one plane")
+	}
+	n := 0.0
+	for p, counts := range planes {
+		total := 0.0
+		for i, c := range counts {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("fo: invalid count %v at plane %d index %d", c, p, i)
+			}
+			total += c
+		}
+		if p == 0 {
+			n = total
+		} else if total != n {
+			return nil, fmt.Errorf("fo: plane %d totals %v reports, plane 0 has %v", p, total, n)
+		}
+	}
+	cloned := make([][]float64, len(planes))
+	for i, counts := range planes {
+		cloned[i] = append([]float64(nil), counts...)
+	}
+	return &Aggregate{Scheme: scheme, Planes: cloned, N: n}, nil
+}
+
+// Add absorbs one report.
+func (a *Aggregate) Add(rep Report) error {
+	if len(rep.Planes) != len(a.Planes) {
+		return fmt.Errorf("fo: report has %d planes, aggregate %d", len(rep.Planes), len(a.Planes))
+	}
+	for p, idxs := range rep.Planes {
+		for _, j := range idxs {
+			if j < 0 || j >= len(a.Planes[p]) {
+				return fmt.Errorf("fo: report index %d outside plane %d (size %d)", j, p, len(a.Planes[p]))
+			}
+		}
+	}
+	for p, idxs := range rep.Planes {
+		for _, j := range idxs {
+			a.Planes[p][j]++
+		}
+	}
+	a.N++
+	return nil
+}
+
+// Merge folds another shard's aggregate into this one. Both operands
+// must share the scheme and plane shape; b is left unchanged.
+func (a *Aggregate) Merge(b *Aggregate) error {
+	if a.Scheme != b.Scheme {
+		return fmt.Errorf("fo: cannot merge scheme %q into %q", b.Scheme, a.Scheme)
+	}
+	if len(a.Planes) != len(b.Planes) {
+		return fmt.Errorf("fo: merge plane count mismatch (%d vs %d)", len(a.Planes), len(b.Planes))
+	}
+	for p := range a.Planes {
+		if len(a.Planes[p]) != len(b.Planes[p]) {
+			return fmt.Errorf("fo: merge plane %d size mismatch (%d vs %d)", p, len(a.Planes[p]), len(b.Planes[p]))
+		}
+	}
+	for p := range a.Planes {
+		for j, v := range b.Planes[p] {
+			a.Planes[p][j] += v
+		}
+	}
+	a.N += b.N
+	return nil
+}
+
+// Clone returns a deep copy.
+func (a *Aggregate) Clone() *Aggregate {
+	planes := make([][]float64, len(a.Planes))
+	for i, p := range a.Planes {
+		planes[i] = append([]float64(nil), p...)
+	}
+	return &Aggregate{Scheme: a.Scheme, Planes: planes, N: a.N}
+}
+
+// Compatible reports whether the aggregate can be decoded by the
+// reporter's estimator: same scheme and plane shape.
+func (a *Aggregate) Compatible(rep Reporter) error {
+	if a.Scheme != rep.Scheme() {
+		return fmt.Errorf("fo: aggregate scheme %q, mechanism scheme %q", a.Scheme, rep.Scheme())
+	}
+	shape := rep.ReportShape()
+	if len(a.Planes) != len(shape) {
+		return fmt.Errorf("fo: aggregate has %d planes, mechanism expects %d", len(a.Planes), len(shape))
+	}
+	for p, n := range shape {
+		if len(a.Planes[p]) != n {
+			return fmt.Errorf("fo: aggregate plane %d has %d counts, mechanism expects %d", p, len(a.Planes[p]), n)
+		}
+	}
+	return nil
+}
+
+// aggregateMagic opens every binary-encoded aggregate ("DPA" + version).
+var aggregateMagic = []byte("DPA1")
+
+// MarshalBinary encodes the aggregate deterministically: magic, scheme,
+// plane count, then each plane as a length-prefixed little-endian float64
+// vector, then N. The same aggregate always yields the same bytes.
+func (a *Aggregate) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(aggregateMagic)
+	writeUvarint(&buf, uint64(len(a.Scheme)))
+	buf.WriteString(a.Scheme)
+	writeUvarint(&buf, uint64(len(a.Planes)))
+	for _, plane := range a.Planes {
+		writeUvarint(&buf, uint64(len(plane)))
+		for _, v := range plane {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			buf.Write(b[:])
+		}
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(a.N))
+	buf.Write(b[:])
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes MarshalBinary's format in place.
+func (a *Aggregate) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(aggregateMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, aggregateMagic) {
+		return fmt.Errorf("fo: not a binary aggregate (bad magic)")
+	}
+	schemeLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("fo: truncated aggregate scheme length: %v", err)
+	}
+	if schemeLen > uint64(r.Len()) {
+		return fmt.Errorf("fo: aggregate scheme length %d exceeds payload", schemeLen)
+	}
+	scheme := make([]byte, schemeLen)
+	if _, err := io.ReadFull(r, scheme); err != nil {
+		return fmt.Errorf("fo: truncated aggregate scheme: %v", err)
+	}
+	numPlanes, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("fo: truncated plane count: %v", err)
+	}
+	if numPlanes > uint64(r.Len()) {
+		return fmt.Errorf("fo: plane count %d exceeds payload", numPlanes)
+	}
+	planes := make([][]float64, numPlanes)
+	for p := range planes {
+		size, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("fo: truncated plane %d size: %v", p, err)
+		}
+		if size > uint64(r.Len())/8 {
+			return fmt.Errorf("fo: plane %d size %d exceeds payload", p, size)
+		}
+		planes[p] = make([]float64, size)
+		for j := range planes[p] {
+			var b [8]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return fmt.Errorf("fo: truncated plane %d: %v", p, err)
+			}
+			planes[p][j] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		}
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("fo: truncated report count: %v", err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("fo: %d trailing bytes after aggregate", r.Len())
+	}
+	a.Scheme = string(scheme)
+	a.Planes = planes
+	a.N = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	return nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	buf.Write(b[:binary.PutUvarint(b[:], v)])
+}
+
+// validCount rejects negative or non-integral per-cell user counts.
+func validCount(c float64, cell int) error {
+	if c < 0 || c != math.Trunc(c) {
+		return fmt.Errorf("fo: invalid count %v at cell %d", c, cell)
+	}
+	return nil
+}

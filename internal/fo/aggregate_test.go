@@ -1,0 +1,289 @@
+package fo
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"dpspatial/internal/rng"
+)
+
+func grrAggregate(t *testing.T, g *GRR, n int, seed uint64) *Aggregate {
+	t.Helper()
+	agg := NewAggregateFor(g)
+	r := rng.New(seed)
+	for u := 0; u < n; u++ {
+		rep, err := g.Report(u%g.NumInputs(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return agg
+}
+
+func TestAggregateAddCountsReports(t *testing.T) {
+	g, err := NewGRR(5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := grrAggregate(t, g, 200, 1)
+	if agg.N != 200 {
+		t.Fatalf("N = %v, want 200", agg.N)
+	}
+	total := 0.0
+	for _, c := range agg.Planes[0] {
+		total += c
+	}
+	if total != 200 {
+		t.Fatalf("plane total = %v, want 200", total)
+	}
+	if agg.Scheme != g.Scheme() {
+		t.Fatalf("scheme %q, want %q", agg.Scheme, g.Scheme())
+	}
+}
+
+func TestAggregateMergeMatchesSingleShard(t *testing.T) {
+	g, err := NewGRR(7, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One stream of reports, split round-robin across 3 shards, must
+	// aggregate to the same counts as a single shard.
+	r := rng.New(9)
+	single := NewAggregateFor(g)
+	shards := []*Aggregate{NewAggregateFor(g), NewAggregateFor(g), NewAggregateFor(g)}
+	for u := 0; u < 500; u++ {
+		rep, err := g.Report(u%7, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := shards[u%3].Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ((s0 ⊕ s1) ⊕ s2) and (s0 ⊕ (s1 ⊕ s2)) and (s2 ⊕ s0 ⊕ s1).
+	left := shards[0].Clone()
+	if err := left.Merge(shards[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(shards[2]); err != nil {
+		t.Fatal(err)
+	}
+	rightInner := shards[1].Clone()
+	if err := rightInner.Merge(shards[2]); err != nil {
+		t.Fatal(err)
+	}
+	right := shards[0].Clone()
+	if err := right.Merge(rightInner); err != nil {
+		t.Fatal(err)
+	}
+	perm := shards[2].Clone()
+	if err := perm.Merge(shards[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := perm.Merge(shards[1]); err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*Aggregate{"left": left, "right": right, "perm": perm} {
+		if !reflect.DeepEqual(got, single) {
+			t.Fatalf("%s-assoc merge differs from single-shard aggregation", name)
+		}
+	}
+}
+
+func TestAggregateMergeRejectsIncompatible(t *testing.T) {
+	g5, _ := NewGRR(5, 1.0)
+	g7, _ := NewGRR(7, 1.0)
+	a, b := NewAggregateFor(g5), NewAggregateFor(g7)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different schemes should fail")
+	}
+	c := NewAggregateFor(g5)
+	c.Scheme = a.Scheme
+	c.Planes = [][]float64{make([]float64, 6)}
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging different plane sizes should fail")
+	}
+}
+
+func TestAggregateAddRejectsBadReports(t *testing.T) {
+	g, _ := NewGRR(5, 1.0)
+	agg := NewAggregateFor(g)
+	if err := agg.Add(Report{Planes: [][]int{{0}, {1}}}); err == nil {
+		t.Fatal("wrong plane count should fail")
+	}
+	if err := agg.Add(Report{Planes: [][]int{{5}}}); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+	if err := agg.Add(Report{Planes: [][]int{{-1}}}); err == nil {
+		t.Fatal("negative index should fail")
+	}
+	if agg.N != 0 {
+		t.Fatalf("failed adds must not count reports, N = %v", agg.N)
+	}
+}
+
+func TestAggregateBinaryRoundTrip(t *testing.T) {
+	g, err := NewGRR(6, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := grrAggregate(t, g, 300, 4)
+	blob, err := agg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Aggregate
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, agg) {
+		t.Fatal("binary round-trip changed the aggregate")
+	}
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(blob, blob2) {
+		t.Fatal("binary encoding is not deterministic")
+	}
+}
+
+func TestAggregateBinaryRejectsGarbage(t *testing.T) {
+	var a Aggregate
+	if err := a.UnmarshalBinary([]byte("not an aggregate")); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	g, _ := NewGRR(4, 1.0)
+	blob, err := NewAggregateFor(g).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnmarshalBinary(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+	if err := a.UnmarshalBinary(append(blob, 0)); err == nil {
+		t.Fatal("trailing bytes should fail")
+	}
+	// A plane size whose byte length overflows uint64 must error, not
+	// panic in make().
+	evil := append([]byte{}, aggregateMagic...)
+	evil = append(evil, 0) // empty scheme
+	evil = append(evil, 1) // one plane
+	evil = binary.AppendUvarint(evil, 1<<61)
+	if err := a.UnmarshalBinary(evil); err == nil {
+		t.Fatal("overflowing plane size should fail")
+	}
+}
+
+func TestAggregateJSONRoundTrip(t *testing.T) {
+	g, err := NewGRR(6, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := grrAggregate(t, g, 120, 8)
+	blob, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Aggregate
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, agg) {
+		t.Fatal("JSON round-trip changed the aggregate")
+	}
+	blob2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("JSON encoding is not deterministic")
+	}
+}
+
+func TestAggregateFromCountsValidates(t *testing.T) {
+	if _, err := AggregateFromCounts("s"); err == nil {
+		t.Fatal("zero planes should fail")
+	}
+	if _, err := AggregateFromCounts("s", []float64{1, 2}, []float64{4}); err == nil {
+		t.Fatal("mismatched plane totals should fail")
+	}
+	if _, err := AggregateFromCounts("s", []float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN count should fail")
+	}
+	agg, err := AggregateFromCounts("s", []float64{1, 2}, []float64{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.N != 3 {
+		t.Fatalf("N = %v, want 3", agg.N)
+	}
+}
+
+func TestAccumulateMatchesManualLoop(t *testing.T) {
+	g, err := NewGRR(5, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCounts := []float64{10, 0, 25, 3, 7}
+	agg := NewAggregateFor(g)
+	if err := Accumulate(g, agg, trueCounts, rng.New(21)); err != nil {
+		t.Fatal(err)
+	}
+	manual := NewAggregateFor(g)
+	r := rng.New(21)
+	for i, c := range trueCounts {
+		for k := 0; k < int(c); k++ {
+			rep, err := g.Report(i, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := manual.Add(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !reflect.DeepEqual(agg, manual) {
+		t.Fatal("Accumulate differs from the manual report loop")
+	}
+	if err := Accumulate(g, NewAggregateFor(g), []float64{1, 2}, rng.New(1)); err == nil {
+		t.Fatal("wrong count length should fail")
+	}
+	if err := Accumulate(g, NewAggregateFor(g), []float64{1, -1, 0, 0, 0}, rng.New(1)); err == nil {
+		t.Fatal("negative count should fail")
+	}
+}
+
+func TestOUEReporterAggregate(t *testing.T) {
+	o, err := NewOUE(6, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCounts := []float64{4000, 0, 1000, 0, 3000, 2000}
+	agg := NewAggregateFor(o)
+	if err := Accumulate(o, agg, trueCounts, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if agg.N != 10000 {
+		t.Fatalf("N = %v, want 10000", agg.N)
+	}
+	est, err := o.EstimateAggregate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.4, 0, 0.1, 0, 0.3, 0.2}
+	for i := range want {
+		if math.Abs(est[i]-want[i]) > 0.05 {
+			t.Fatalf("category %d: estimate %v, want ≈ %v", i, est[i], want[i])
+		}
+	}
+}

@@ -86,6 +86,28 @@ func (g *GRR) Estimate(counts []float64) ([]float64, error) {
 	return est, nil
 }
 
+// Scheme implements Reporter.
+func (g *GRR) Scheme() string { return fmt.Sprintf("fo/grr k=%d eps=%g", g.k, g.eps) }
+
+// ReportShape implements Reporter: one plane of k counts.
+func (g *GRR) ReportShape() []int { return []int{g.k} }
+
+// Report implements Reporter: one user's randomised-response output.
+func (g *GRR) Report(input int, r *rng.RNG) (Report, error) {
+	if input < 0 || input >= g.k {
+		return Report{}, fmt.Errorf("fo: GRR input %d outside [0, %d)", input, g.k)
+	}
+	return SingleIndexReport(g.Perturb(input, r)), nil
+}
+
+// EstimateAggregate recovers frequencies from an accumulated aggregate.
+func (g *GRR) EstimateAggregate(agg *Aggregate) ([]float64, error) {
+	if err := agg.Compatible(g); err != nil {
+		return nil, err
+	}
+	return g.Estimate(agg.Planes[0])
+}
+
 // Channel returns GRR's explicit channel matrix.
 func (g *GRR) Channel() *Channel {
 	ch := NewChannel(g.k, g.k)

@@ -37,6 +37,9 @@ func NewOUE(k int, eps float64) (*OUE, error) {
 // NumCategories returns the domain size k.
 func (o *OUE) NumCategories() int { return o.k }
 
+// NumInputs implements Reporter.
+func (o *OUE) NumInputs() int { return o.k }
+
 // Epsilon returns the privacy budget.
 func (o *OUE) Epsilon() float64 { return o.eps }
 
@@ -65,6 +68,37 @@ func (o *OUE) AccumulateBits(bits []bool, support []float64) error {
 		}
 	}
 	return nil
+}
+
+// Scheme implements Reporter.
+func (o *OUE) Scheme() string { return fmt.Sprintf("fo/oue k=%d eps=%g", o.k, o.eps) }
+
+// ReportShape implements Reporter: one support plane of k counts.
+func (o *OUE) ReportShape() []int { return []int{o.k} }
+
+// Report implements Reporter: the set bits of one user's perturbed unary
+// encoding, as support indices.
+func (o *OUE) Report(input int, r *rng.RNG) (Report, error) {
+	if input < 0 || input >= o.k {
+		return Report{}, fmt.Errorf("fo: OUE input %d outside [0, %d)", input, o.k)
+	}
+	bits := o.PerturbBits(input, r)
+	set := make([]int, 0, 4)
+	for j, b := range bits {
+		if b {
+			set = append(set, j)
+		}
+	}
+	return Report{Planes: [][]int{set}}, nil
+}
+
+// EstimateAggregate recovers frequencies from an accumulated aggregate,
+// using the aggregate's report count as the user total.
+func (o *OUE) EstimateAggregate(agg *Aggregate) ([]float64, error) {
+	if err := agg.Compatible(o); err != nil {
+		return nil, err
+	}
+	return o.EstimateBits(agg.Planes[0], agg.N)
 }
 
 // EstimateBits recovers normalised frequencies from support counts over n

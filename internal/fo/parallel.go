@@ -2,7 +2,6 @@ package fo
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
@@ -18,30 +17,38 @@ import (
 //
 // workers ≤ 0 selects GOMAXPROCS.
 func CollectParallel(ch *Channel, trueCounts []float64, seed uint64, workers int) ([]float64, error) {
-	if len(trueCounts) != ch.In {
-		return nil, fmt.Errorf("fo: %d true counts for %d inputs", len(trueCounts), ch.In)
+	samplers, err := ch.Samplers()
+	if err != nil {
+		return nil, err
+	}
+	return CollectParallelAlias(samplers, ch.Out, trueCounts, seed, workers)
+}
+
+// CollectParallelAlias is CollectParallel over prebuilt per-input alias
+// samplers (mechanisms cache theirs across trials), drawing into out
+// output buckets.
+func CollectParallelAlias(samplers []*rng.Alias, out int, trueCounts []float64, seed uint64, workers int) ([]float64, error) {
+	if len(trueCounts) != len(samplers) {
+		return nil, fmt.Errorf("fo: %d true counts for %d inputs", len(trueCounts), len(samplers))
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	for i, c := range trueCounts {
-		if c < 0 || c != math.Trunc(c) {
-			return nil, fmt.Errorf("fo: invalid count %v at cell %d", c, i)
+		if err := validCount(c, i); err != nil {
+			return nil, err
 		}
 	}
-	samplers, err := ch.Samplers()
-	if err != nil {
-		return nil, err
-	}
 
-	chunk := (ch.In + workers - 1) / workers
+	in := len(samplers)
+	chunk := (in + workers - 1) / workers
 	results := make([][]float64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > ch.In {
-			hi = ch.In
+		if hi > in {
+			hi = in
 		}
 		if lo >= hi {
 			continue
@@ -50,20 +57,20 @@ func CollectParallel(ch *Channel, trueCounts []float64, seed uint64, workers int
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			r := rng.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
-			out := make([]float64, ch.Out)
+			counts := make([]float64, out)
 			for i := lo; i < hi; i++ {
 				for k := 0; k < int(trueCounts[i]); k++ {
-					out[samplers[i].Draw(r)]++
+					counts[samplers[i].Draw(r)]++
 				}
 			}
-			results[w] = out
+			results[w] = counts
 		}(w, lo, hi)
 	}
 	wg.Wait()
 
-	total := make([]float64, ch.Out)
-	for _, out := range results {
-		for j, v := range out {
+	total := make([]float64, out)
+	for _, counts := range results {
+		for j, v := range counts {
 			total[j] += v
 		}
 	}

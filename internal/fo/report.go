@@ -1,0 +1,66 @@
+package fo
+
+import (
+	"fmt"
+
+	"dpspatial/internal/rng"
+)
+
+// Report is one user's client-side LDP report — the compact artifact a
+// device ships to the aggregation service. For each reporting plane it
+// lists the output indices the report supports: channel mechanisms emit
+// one plane with one index, MDSW emits two single-index planes (the X and
+// Y marginals of one ε-LDP report), and OUE emits one plane with one
+// index per set bit.
+type Report struct {
+	Planes [][]int `json:"planes"`
+}
+
+// SingleIndexReport wraps one output index of a single-plane mechanism.
+func SingleIndexReport(j int) Report {
+	return Report{Planes: [][]int{{j}}}
+}
+
+// Reporter is the client layer of the report lifecycle: it encodes one
+// user's input into an LDP report that any compatible Aggregate can
+// absorb. Every report drawn from a Reporter satisfies the mechanism's
+// local privacy guarantee on its own, so reports may be shipped, stored
+// and aggregated by untrusted infrastructure.
+type Reporter interface {
+	// Scheme identifies the report format (mechanism family and the
+	// parameters that fix the output domain). Aggregates record it and
+	// refuse to merge across schemes.
+	Scheme() string
+	// NumInputs returns the input domain size.
+	NumInputs() int
+	// ReportShape returns the count-vector length of each reporting
+	// plane.
+	ReportShape() []int
+	// Report encodes one user's input index into an LDP report.
+	Report(input int, r *rng.RNG) (Report, error)
+}
+
+// Accumulate streams every user of a per-input count vector through the
+// client layer into agg — the sequential reference aggregation (client
+// Report → server Add), consuming r in input-cell order. It is the
+// in-process stand-in for millions of devices reporting to one shard.
+func Accumulate(rep Reporter, agg *Aggregate, trueCounts []float64, r *rng.RNG) error {
+	if len(trueCounts) != rep.NumInputs() {
+		return fmt.Errorf("fo: %d true counts for %d inputs", len(trueCounts), rep.NumInputs())
+	}
+	for i, c := range trueCounts {
+		if err := validCount(c, i); err != nil {
+			return err
+		}
+		for k := 0; k < int(c); k++ {
+			report, err := rep.Report(i, r)
+			if err != nil {
+				return err
+			}
+			if err := agg.Add(report); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

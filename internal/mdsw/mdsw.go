@@ -73,25 +73,53 @@ func (m *MDSW) Epsilon() float64 { return m.eps }
 // Domain returns the input grid.
 func (m *MDSW) Domain() grid.Domain { return m.dom }
 
-// Report is one user's noisy output: a perturbed bucket per dimension.
-type Report struct {
+// AxisReport is one user's noisy output: a perturbed bucket per
+// dimension.
+type AxisReport struct {
 	X, Y int
 }
 
 // Perturb randomises one user's cell (given as a flat input index).
-func (m *MDSW) Perturb(input int, r *rng.RNG) Report {
+func (m *MDSW) Perturb(input int, r *rng.RNG) AxisReport {
 	c := m.dom.CellAt(input)
-	return Report{X: m.swx.Perturb(c.X, r), Y: m.swy.Perturb(c.Y, r)}
+	return AxisReport{X: m.swx.Perturb(c.X, r), Y: m.swy.Perturb(c.Y, r)}
 }
+
+// NumInputs implements fo.Reporter.
+func (m *MDSW) NumInputs() int { return m.dom.NumCells() }
+
+// Scheme implements fo.Reporter.
+func (m *MDSW) Scheme() string { return fmt.Sprintf("mdsw d=%d eps=%g", m.dom.D, m.eps) }
+
+// ReportShape implements fo.Reporter: two merge-compatible planes, the X
+// and Y marginal output buckets of one ε-LDP report.
+func (m *MDSW) ReportShape() []int {
+	return []int{m.swx.NumOutputs(), m.swy.NumOutputs()}
+}
+
+// Report implements fo.Reporter: both axis draws of one user, packaged
+// as a two-plane report (same RNG consumption as Perturb, so sequential
+// pipelines stay byte-identical).
+func (m *MDSW) Report(input int, r *rng.RNG) (fo.Report, error) {
+	if input < 0 || input >= m.dom.NumCells() {
+		return fo.Report{}, fmt.Errorf("mdsw: input cell %d outside [0, %d)", input, m.dom.NumCells())
+	}
+	rep := m.Perturb(input, r)
+	return fo.Report{Planes: [][]int{{rep.X}, {rep.Y}}}, nil
+}
+
+// NewAggregate allocates an empty two-plane aggregate for this
+// mechanism's reports.
+func (m *MDSW) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(m) }
 
 // CollectParallel perturbs every user with the per-user draws fanned out
 // across workers and returns the aggregated per-bucket marginal counts
 // (X, Y). Each axis reports only its own coordinate, so the 2-D counts
-// reduce to per-axis marginal true counts pushed through the axis
-// channels by fo.CollectParallel — one deterministic stream family per
-// (axis, worker), reproducible for a fixed seed and worker count, though
-// the streams differ from the sequential EstimateHist path. workers ≤ 0
-// selects GOMAXPROCS.
+// reduce to per-axis marginal true counts pushed through the cached
+// per-axis alias samplers by fo.CollectParallelAlias — one deterministic
+// stream family per (axis, worker), reproducible for a fixed seed and
+// worker count, though the streams differ from the sequential
+// EstimateHist path. workers ≤ 0 selects GOMAXPROCS.
 func (m *MDSW) CollectParallel(trueCounts []float64, seed uint64, workers int) ([]float64, []float64, error) {
 	d := m.dom.D
 	if len(trueCounts) != m.dom.NumCells() {
@@ -109,51 +137,37 @@ func (m *MDSW) CollectParallel(trueCounts []float64, seed uint64, workers int) (
 		margX[cell.X] += c
 		margY[cell.Y] += c
 	}
-	countsX, err := fo.CollectParallel(m.swx.Channel(), margX, seed, workers)
+	samplersX, err := m.swx.Samplers()
 	if err != nil {
 		return nil, nil, err
 	}
-	countsY, err := fo.CollectParallel(m.swy.Channel(), margY, seed^0xd1b54a32d192ed03, workers)
+	samplersY, err := m.swy.Samplers()
+	if err != nil {
+		return nil, nil, err
+	}
+	countsX, err := fo.CollectParallelAlias(samplersX, m.swx.NumOutputs(), margX, seed, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	countsY, err := fo.CollectParallelAlias(samplersY, m.swy.NumOutputs(), margY, seed^0xd1b54a32d192ed03, workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	return countsX, countsY, nil
 }
 
-// EstimateHist runs the full pipeline on a true count histogram: perturb
-// every user, estimate both marginals with SW-EMS, and return the product
-// joint over the input grid. With WithWorkers ≠ 1 the collection step
-// fans out through CollectParallel, seeded from the caller's stream.
-func (m *MDSW) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
-	if truth.Dom.D != m.dom.D {
-		return nil, fmt.Errorf("mdsw: histogram d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
+// EstimateFromAggregate decodes an accumulated two-plane aggregate (one
+// shard or a merge of many): estimate both marginals with SW-EMS and
+// return the product joint over the input grid.
+func (m *MDSW) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	if err := agg.Compatible(m); err != nil {
+		return nil, fmt.Errorf("mdsw: %w", err)
 	}
-	var countsX, countsY []float64
-	if m.workers != 1 {
-		var err error
-		countsX, countsY, err = m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		countsX = make([]float64, m.swx.NumOutputs())
-		countsY = make([]float64, m.swy.NumOutputs())
-		for i, c := range truth.Mass {
-			if c < 0 || c != math.Trunc(c) {
-				return nil, fmt.Errorf("mdsw: invalid count %v at cell %d", c, i)
-			}
-			for k := 0; k < int(c); k++ {
-				rep := m.Perturb(i, r)
-				countsX[rep.X]++
-				countsY[rep.Y]++
-			}
-		}
-	}
-	fx, err := m.swx.Estimate(countsX)
+	fx, err := m.swx.Estimate(agg.Planes[0])
 	if err != nil {
 		return nil, err
 	}
-	fy, err := m.swy.Estimate(countsY)
+	fy, err := m.swy.Estimate(agg.Planes[1])
 	if err != nil {
 		return nil, err
 	}
@@ -164,4 +178,31 @@ func (m *MDSW) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error
 		}
 	}
 	return est, nil
+}
+
+// EstimateHist runs the full report lifecycle on a true count histogram:
+// every user's two-axis report accumulates into one aggregate, which is
+// then decoded marginal-by-marginal. With WithWorkers ≠ 1 the collection
+// step fans out through CollectParallel, seeded from the caller's stream.
+func (m *MDSW) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != m.dom.D {
+		return nil, fmt.Errorf("mdsw: histogram d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
+	}
+	var agg *fo.Aggregate
+	if m.workers != 1 {
+		countsX, countsY, err := m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
+		if err != nil {
+			return nil, err
+		}
+		agg, err = fo.AggregateFromCounts(m.Scheme(), countsX, countsY)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		agg = m.NewAggregate()
+		if err := fo.Accumulate(m, agg, truth.Mass, r); err != nil {
+			return nil, err
+		}
+	}
+	return m.EstimateFromAggregate(agg)
 }

@@ -11,6 +11,7 @@ package mdsw
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
@@ -31,6 +32,10 @@ type SW struct {
 	b       float64 // wave half-width in [0,1] units
 	pad     int     // output buckets added on each side
 	channel *fo.Channel
+
+	samplersOnce sync.Once
+	samplers     []*rng.Alias
+	samplersErr  error
 }
 
 // SWWaveWidth returns the optimal half-width b for budget eps.
@@ -124,6 +129,15 @@ func (s *SW) WaveWidth() float64 { return s.b }
 
 // Channel exposes the exact bucket-level channel.
 func (s *SW) Channel() *fo.Channel { return s.channel }
+
+// Samplers returns the per-input-bucket alias tables, building them once
+// on first use. The returned slice is shared; treat it as read-only.
+func (s *SW) Samplers() ([]*rng.Alias, error) {
+	s.samplersOnce.Do(func() {
+		s.samplers, s.samplersErr = s.channel.Samplers()
+	})
+	return s.samplers, s.samplersErr
+}
 
 // Perturb randomises one input bucket into an output bucket.
 func (s *SW) Perturb(input int, r *rng.RNG) int {

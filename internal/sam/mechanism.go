@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
@@ -34,6 +35,10 @@ type Mechanism struct {
 	channel *fo.Channel
 	smooth  bool
 	workers int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
+
+	samplersOnce sync.Once
+	samplers     []*rng.Alias
+	samplersErr  error
 }
 
 type weightedOffset struct {
@@ -301,8 +306,16 @@ func (m *Mechanism) PQ() (float64, float64) { return m.pHat, m.qHat }
 // read-only).
 func (m *Mechanism) Channel() *fo.Channel { return m.channel }
 
-// Samplers builds per-input-cell alias tables for O(1) perturbation.
-func (m *Mechanism) Samplers() ([]*rng.Alias, error) { return m.channel.Samplers() }
+// Samplers returns the per-input-cell alias tables for O(1) perturbation,
+// building them once on first use (the experiment harness re-collects
+// from the same mechanism across repeats). The returned slice is shared;
+// treat it as read-only.
+func (m *Mechanism) Samplers() ([]*rng.Alias, error) {
+	m.samplersOnce.Do(func() {
+		m.samplers, m.samplersErr = m.channel.Samplers()
+	})
+	return m.samplers, m.samplersErr
+}
 
 // Perturb randomises one user's input cell index into an output cell
 // index (GridAreaResponse, Algorithm 2: the two-stage weighted sampling
@@ -323,52 +336,85 @@ func (m *Mechanism) Estimate(counts []float64) ([]float64, error) {
 	return em.Estimate(m.channel, counts, opts)
 }
 
-// Collect simulates the full Algorithm 1 pipeline: every user in
-// trueCounts (per input cell) reports through the mechanism, and the
-// aggregated noisy counts are returned, indexed by output cell.
-func (m *Mechanism) Collect(trueCounts []float64, r *rng.RNG) ([]float64, error) {
-	if len(trueCounts) != m.NumInputs() {
-		return nil, fmt.Errorf("sam: %d true counts for %d cells", len(trueCounts), m.NumInputs())
-	}
+// Scheme implements fo.Reporter: the report format is fixed by the wave
+// profile (mechanism name, grid side, budget, radius).
+func (m *Mechanism) Scheme() string {
+	return fmt.Sprintf("sam/%s d=%d eps=%g bhat=%d", m.name, m.dom.D, m.eps, m.bHat)
+}
+
+// ReportShape implements fo.Reporter: one plane of |D̃| counts.
+func (m *Mechanism) ReportShape() []int { return []int{m.NumOutputs()} }
+
+// Report implements fo.Reporter: encode one user's input cell into an
+// LDP report (GridAreaResponse via the cached alias samplers — the same
+// draw Collect has always used, so sequential pipelines stay
+// byte-identical).
+func (m *Mechanism) Report(input int, r *rng.RNG) (fo.Report, error) {
 	samplers, err := m.Samplers()
 	if err != nil {
+		return fo.Report{}, err
+	}
+	if input < 0 || input >= len(samplers) {
+		return fo.Report{}, fmt.Errorf("sam: input cell %d outside [0, %d)", input, len(samplers))
+	}
+	return fo.SingleIndexReport(samplers[input].Draw(r)), nil
+}
+
+// NewAggregate allocates an empty aggregate for this mechanism's reports.
+func (m *Mechanism) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(m) }
+
+// Collect simulates the full Algorithm 1 pipeline in one process: every
+// user in trueCounts (per input cell) reports through the client layer
+// into a fresh aggregate, and the noisy counts are returned, indexed by
+// output cell.
+func (m *Mechanism) Collect(trueCounts []float64, r *rng.RNG) ([]float64, error) {
+	agg := m.NewAggregate()
+	if err := fo.Accumulate(m, agg, trueCounts, r); err != nil {
 		return nil, err
 	}
-	out := make([]float64, m.NumOutputs())
-	for i, c := range trueCounts {
-		if c < 0 || c != math.Trunc(c) {
-			return nil, fmt.Errorf("sam: invalid count %v at cell %d", c, i)
-		}
-		for k := 0; k < int(c); k++ {
-			out[samplers[i].Draw(r)]++
-		}
-	}
-	return out, nil
+	return agg.Planes[0], nil
 }
 
 // Workers returns the configured collection fan-out (1 = sequential).
 func (m *Mechanism) Workers() int { return m.workers }
 
-// EstimateHist runs Collect then Estimate and wraps the result as a
-// histogram over the input domain. With WithWorkers ≠ 1 the collection
-// step fans out through CollectParallel, seeded from the caller's stream.
-func (m *Mechanism) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
-	if truth.Dom.D != m.dom.D {
-		return nil, fmt.Errorf("sam: histogram domain d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
+// EstimateFromAggregate decodes an accumulated aggregate (one shard or a
+// merge of many) into the estimated input distribution via EM — the
+// estimator stage of the report lifecycle.
+func (m *Mechanism) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	if err := agg.Compatible(m); err != nil {
+		return nil, fmt.Errorf("sam: %w", err)
 	}
-	var noisy []float64
-	var err error
-	if m.workers == 1 {
-		noisy, err = m.Collect(truth.Mass, r)
-	} else {
-		noisy, err = m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
-	}
-	if err != nil {
-		return nil, err
-	}
-	est, err := m.Estimate(noisy)
+	est, err := m.Estimate(agg.Planes[0])
 	if err != nil {
 		return nil, err
 	}
 	return grid.HistFromMass(m.dom, est)
+}
+
+// EstimateHist runs the full report lifecycle in-process: accumulate
+// every user's report into one aggregate, then estimate from it. With
+// WithWorkers ≠ 1 the collection step fans out through CollectParallel,
+// seeded from the caller's stream.
+func (m *Mechanism) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != m.dom.D {
+		return nil, fmt.Errorf("sam: histogram domain d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
+	}
+	var agg *fo.Aggregate
+	if m.workers == 1 {
+		agg = m.NewAggregate()
+		if err := fo.Accumulate(m, agg, truth.Mass, r); err != nil {
+			return nil, err
+		}
+	} else {
+		noisy, err := m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
+		if err != nil {
+			return nil, err
+		}
+		agg, err = fo.AggregateFromCounts(m.Scheme(), noisy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m.EstimateFromAggregate(agg)
 }

@@ -9,7 +9,12 @@ import (
 // from (seed, worker index), so the aggregate counts are reproducible for
 // a fixed seed and worker count — though they differ from the sequential
 // Collect's stream. The chunked fan-out (and the input validation) lives
-// in fo.CollectParallel, shared with the other channel mechanisms.
+// in fo.CollectParallelAlias, shared with the other channel mechanisms;
+// the alias tables come from the mechanism's once-built cache.
 func (m *Mechanism) CollectParallel(trueCounts []float64, seed uint64, workers int) ([]float64, error) {
-	return fo.CollectParallel(m.channel, trueCounts, seed, workers)
+	samplers, err := m.Samplers()
+	if err != nil {
+		return nil, err
+	}
+	return fo.CollectParallelAlias(samplers, m.NumOutputs(), trueCounts, seed, workers)
 }

@@ -20,6 +20,7 @@ package semgeoi
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
@@ -37,6 +38,10 @@ type Mechanism struct {
 	channel  *fo.Channel
 	ballOffs []geom.Cell
 	workers  int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
+
+	samplersOnce sync.Once
+	samplers     []*rng.Alias
+	samplersErr  error
 }
 
 // Option configures the mechanism.
@@ -182,6 +187,40 @@ func (m *Mechanism) Perturb(input int, r *rng.RNG) int {
 	return rng.WeightedChoice(r, m.channel.Row(input))
 }
 
+// Samplers returns the per-input-cell alias tables, building them once on
+// first use. The returned slice is shared; treat it as read-only.
+func (m *Mechanism) Samplers() ([]*rng.Alias, error) {
+	m.samplersOnce.Do(func() {
+		m.samplers, m.samplersErr = m.channel.Samplers()
+	})
+	return m.samplers, m.samplersErr
+}
+
+// Scheme implements fo.Reporter.
+func (m *Mechanism) Scheme() string {
+	return fmt.Sprintf("semgeoi d=%d epsGeo=%g k=%d", m.dom.D, m.epsGeo, m.k)
+}
+
+// ReportShape implements fo.Reporter: one plane of subset-centre counts.
+func (m *Mechanism) ReportShape() []int { return []int{m.NumOutputs()} }
+
+// Report implements fo.Reporter: one user's noisy subset centre, drawn
+// through the cached alias samplers (the same draw the sequential
+// pipeline has always used, so it stays byte-identical).
+func (m *Mechanism) Report(input int, r *rng.RNG) (fo.Report, error) {
+	samplers, err := m.Samplers()
+	if err != nil {
+		return fo.Report{}, err
+	}
+	if input < 0 || input >= len(samplers) {
+		return fo.Report{}, fmt.Errorf("semgeoi: input cell %d outside [0, %d)", input, len(samplers))
+	}
+	return fo.SingleIndexReport(samplers[input].Draw(r)), nil
+}
+
+// NewAggregate allocates an empty aggregate for this mechanism's reports.
+func (m *Mechanism) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(m) }
+
 // Subset expands a reported centre index into the cells of the reported
 // subset, clamped to the grid.
 func (m *Mechanism) Subset(center int) []geom.Cell {
@@ -204,46 +243,53 @@ func (m *Mechanism) Estimate(counts []float64) ([]float64, error) {
 // CollectParallel simulates every user's subset report with the per-user
 // draws fanned out across workers (contiguous input-cell chunks, one
 // deterministic RNG stream per worker — reproducible for a fixed seed and
-// worker count; validation lives in fo.CollectParallel). workers ≤ 0
+// worker count; validation lives in fo.CollectParallelAlias). workers ≤ 0
 // selects GOMAXPROCS.
 func (m *Mechanism) CollectParallel(trueCounts []float64, seed uint64, workers int) ([]float64, error) {
-	return fo.CollectParallel(m.channel, trueCounts, seed, workers)
+	samplers, err := m.Samplers()
+	if err != nil {
+		return nil, err
+	}
+	return fo.CollectParallelAlias(samplers, m.NumOutputs(), trueCounts, seed, workers)
 }
 
-// EstimateHist runs the full collect-and-estimate pipeline. With
+// EstimateFromAggregate decodes an accumulated aggregate (one shard or a
+// merge of many) into the estimated input distribution via EM.
+func (m *Mechanism) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	if err := agg.Compatible(m); err != nil {
+		return nil, fmt.Errorf("semgeoi: %w", err)
+	}
+	est, err := m.Estimate(agg.Planes[0])
+	if err != nil {
+		return nil, err
+	}
+	return grid.HistFromMass(m.dom, est)
+}
+
+// EstimateHist runs the full report lifecycle in-process. With
 // WithWorkers ≠ 1 the collection step fans out through CollectParallel,
 // seeded from the caller's stream.
 func (m *Mechanism) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
 	if truth.Dom.D != m.dom.D {
 		return nil, fmt.Errorf("semgeoi: histogram d=%d, mechanism d=%d", truth.Dom.D, m.dom.D)
 	}
-	var counts []float64
+	var agg *fo.Aggregate
 	if m.workers != 1 {
-		var err error
-		counts, err = m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
+		counts, err := m.CollectParallel(truth.Mass, r.Uint64(), m.workers)
+		if err != nil {
+			return nil, err
+		}
+		agg, err = fo.AggregateFromCounts(m.Scheme(), counts)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		samplers, err := m.channel.Samplers()
-		if err != nil {
+		agg = m.NewAggregate()
+		if err := fo.Accumulate(m, agg, truth.Mass, r); err != nil {
 			return nil, err
 		}
-		counts = make([]float64, m.NumOutputs())
-		for i, c := range truth.Mass {
-			if c < 0 || c != math.Trunc(c) {
-				return nil, fmt.Errorf("semgeoi: invalid count %v at cell %d", c, i)
-			}
-			for u := 0; u < int(c); u++ {
-				counts[samplers[i].Draw(r)]++
-			}
-		}
 	}
-	est, err := m.Estimate(counts)
-	if err != nil {
-		return nil, err
-	}
-	return grid.HistFromMass(m.dom, est)
+	return m.EstimateFromAggregate(agg)
 }
 
 // GeoIRatioHolds verifies the Geo-I guarantee on the channel: for every

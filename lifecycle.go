@@ -1,0 +1,88 @@
+package dpspatial
+
+import (
+	"fmt"
+
+	"dpspatial/internal/fo"
+)
+
+// This file surfaces the three-stage report lifecycle — client,
+// aggregator, estimator — that every mechanism's EstimateHist is built
+// on. The stages can run in separate processes: a device encodes one
+// Report, any number of aggregation shards Add reports and Merge with
+// each other (associative and commutative, so grouping and order don't
+// matter), and the estimator decodes the merged Aggregate.
+
+// Report is one user's client-side LDP report — the compact artifact a
+// device ships to the aggregation service. Each report satisfies the
+// mechanism's local privacy guarantee on its own.
+type Report = fo.Report
+
+// Aggregate is a mergeable, serializable accumulation of reports: the
+// server side of the lifecycle. Use Add for single reports, Merge to
+// combine shards, and MarshalBinary / encoding/json for transport.
+type Aggregate = fo.Aggregate
+
+// Reporter is the client layer: Scheme identifies the report format,
+// NumInputs / ReportShape describe the domains, and Report encodes one
+// user's input cell index into an LDP report.
+type Reporter = fo.Reporter
+
+// ReportingMechanism is a Mechanism that exposes the full report
+// lifecycle. Every mechanism this package constructs implements it.
+type ReportingMechanism interface {
+	Mechanism
+	Reporter
+	// NewAggregate allocates an empty aggregate for this mechanism's
+	// reports.
+	NewAggregate() *Aggregate
+	// EstimateFromAggregate decodes an accumulated aggregate (one shard
+	// or a merge of many) into the estimated spatial distribution.
+	EstimateFromAggregate(agg *Aggregate) (*Histogram, error)
+}
+
+// AsReporting exposes a mechanism's report lifecycle, or an error if the
+// mechanism does not support per-report collection.
+func AsReporting(m Mechanism) (ReportingMechanism, error) {
+	rm, ok := m.(ReportingMechanism)
+	if !ok {
+		return nil, fmt.Errorf("dpspatial: %T does not expose the report lifecycle", m)
+	}
+	return rm, nil
+}
+
+// NewAggregateFor allocates an empty aggregate for the mechanism's
+// reports — shorthand for AsReporting + NewAggregate.
+func NewAggregateFor(m Mechanism) (*Aggregate, error) {
+	rm, err := AsReporting(m)
+	if err != nil {
+		return nil, err
+	}
+	return rm.NewAggregate(), nil
+}
+
+// EstimateFromAggregate decodes an accumulated aggregate with the
+// mechanism's estimator — shorthand for AsReporting +
+// EstimateFromAggregate.
+func EstimateFromAggregate(m Mechanism, agg *Aggregate) (*Histogram, error) {
+	rm, err := AsReporting(m)
+	if err != nil {
+		return nil, err
+	}
+	return rm.EstimateFromAggregate(agg)
+}
+
+// AccumulateHist reports every user of a true count histogram through
+// the mechanism's client layer into agg, sequentially on r's stream —
+// the in-process stand-in for a fleet of devices reporting to one shard.
+func AccumulateHist(m Mechanism, agg *Aggregate, truth *Histogram, r *Rand) error {
+	rm, err := AsReporting(m)
+	if err != nil {
+		return err
+	}
+	if truth.Dom.NumCells() != rm.NumInputs() {
+		return fmt.Errorf("dpspatial: histogram has %d cells, mechanism expects %d",
+			truth.Dom.NumCells(), rm.NumInputs())
+	}
+	return fo.Accumulate(rm, agg, truth.Mass, r)
+}

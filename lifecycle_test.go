@@ -1,0 +1,256 @@
+package dpspatial
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// lifecycleMechanisms builds one mechanism per family on a small grid.
+// SEM-Geo-I is constructed directly from a Geo-I budget so the tests do
+// not pay for local-privacy calibration.
+func lifecycleMechanisms(t *testing.T) (Domain, map[string]ReportingMechanism) {
+	t.Helper()
+	dom, err := NewDomain(0, 0, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mechs := map[string]ReportingMechanism{}
+	for name, build := range map[string]func() (Mechanism, error){
+		"DAM":       func() (Mechanism, error) { return NewDAM(dom, 1.5) },
+		"HUEM":      func() (Mechanism, error) { return NewHUEM(dom, 1.5) },
+		"MDSW":      func() (Mechanism, error) { return NewMDSW(dom, 1.5) },
+		"SEM-Geo-I": func() (Mechanism, error) { return NewSEMGeoI(dom, 1.2) },
+	} {
+		m, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rm, err := AsReporting(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mechs[name] = rm
+	}
+	return dom, mechs
+}
+
+// lifecycleTruth is a small synthetic count histogram exercising empty
+// and heavy cells.
+func lifecycleTruth(dom Domain) *Histogram {
+	truth := &Histogram{Dom: dom, Mass: make([]float64, dom.NumCells())}
+	for i := range truth.Mass {
+		truth.Mass[i] = float64((i * 7) % 23)
+	}
+	truth.Mass[0] = 0
+	truth.Mass[len(truth.Mass)-1] = 120
+	return truth
+}
+
+// TestAggregateMergeLaws checks, for every mechanism family, that a
+// shard-split of n users aggregates to exactly the single-shard result
+// under any merge grouping and order (associativity + commutativity).
+func TestAggregateMergeLaws(t *testing.T) {
+	dom, mechs := lifecycleMechanisms(t)
+	truth := lifecycleTruth(dom)
+	for name, rm := range mechs {
+		t.Run(name, func(t *testing.T) {
+			// One fixed report stream, split round-robin over 3 shards.
+			r := NewRand(31)
+			single := rm.NewAggregate()
+			shards := []*Aggregate{rm.NewAggregate(), rm.NewAggregate(), rm.NewAggregate()}
+			user := 0
+			for i, c := range truth.Mass {
+				for k := 0; k < int(c); k++ {
+					rep, err := rm.Report(i, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := single.Add(rep); err != nil {
+						t.Fatal(err)
+					}
+					if err := shards[user%3].Add(rep); err != nil {
+						t.Fatal(err)
+					}
+					user++
+				}
+			}
+
+			merge := func(order ...int) *Aggregate {
+				acc := shards[order[0]].Clone()
+				for _, s := range order[1:] {
+					if err := acc.Merge(shards[s]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return acc
+			}
+			leftAssoc := merge(0, 1, 2)
+			commuted := merge(2, 0, 1)
+			rightInner := shards[1].Clone()
+			if err := rightInner.Merge(shards[2]); err != nil {
+				t.Fatal(err)
+			}
+			rightAssoc := shards[0].Clone()
+			if err := rightAssoc.Merge(rightInner); err != nil {
+				t.Fatal(err)
+			}
+
+			for variant, got := range map[string]*Aggregate{
+				"(s0+s1)+s2": leftAssoc,
+				"s0+(s1+s2)": rightAssoc,
+				"s2+s0+s1":   commuted,
+			} {
+				if !reflect.DeepEqual(got, single) {
+					t.Fatalf("%s: sharded merge differs from single-shard aggregation", variant)
+				}
+			}
+
+			// The merged aggregate must decode to the same histogram as
+			// the single-shard one.
+			a, err := rm.EstimateFromAggregate(leftAssoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := rm.EstimateFromAggregate(single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Mass, b.Mass) {
+				t.Fatal("merged aggregate estimates differently than single-shard aggregate")
+			}
+		})
+	}
+}
+
+// TestAggregateSerializationRoundTrip checks that every mechanism
+// family's aggregate survives binary and JSON transport bit-identically.
+func TestAggregateSerializationRoundTrip(t *testing.T) {
+	dom, mechs := lifecycleMechanisms(t)
+	truth := lifecycleTruth(dom)
+	for name, rm := range mechs {
+		t.Run(name, func(t *testing.T) {
+			agg := rm.NewAggregate()
+			if err := AccumulateHist(rm, agg, truth, NewRand(17)); err != nil {
+				t.Fatal(err)
+			}
+
+			blob, err := agg.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Aggregate
+			if err := back.UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&back, agg) {
+				t.Fatal("binary round-trip changed the aggregate")
+			}
+			blob2, err := back.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatal("binary encoding is not deterministic")
+			}
+
+			js, err := json.Marshal(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var jsBack Aggregate
+			if err := json.Unmarshal(js, &jsBack); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&jsBack, agg) {
+				t.Fatal("JSON round-trip changed the aggregate")
+			}
+
+			// A round-tripped aggregate still decodes.
+			est, err := rm.EstimateFromAggregate(&back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := rm.EstimateFromAggregate(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(est.Mass, direct.Mass) {
+				t.Fatal("deserialized aggregate estimates differently")
+			}
+		})
+	}
+}
+
+// TestLifecycleMatchesEstimateHist checks that the explicit client →
+// aggregate → estimate path reproduces EstimateHist exactly for the same
+// seed (the refactor's byte-compatibility guarantee).
+func TestLifecycleMatchesEstimateHist(t *testing.T) {
+	dom, mechs := lifecycleMechanisms(t)
+	truth := lifecycleTruth(dom)
+	for name, rm := range mechs {
+		t.Run(name, func(t *testing.T) {
+			monolithic, err := rm.EstimateHist(truth, NewRand(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := rm.NewAggregate()
+			if err := AccumulateHist(rm, agg, truth, NewRand(77)); err != nil {
+				t.Fatal(err)
+			}
+			staged, err := rm.EstimateFromAggregate(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(monolithic.Mass, staged.Mass) {
+				t.Fatal("staged lifecycle differs from EstimateHist")
+			}
+		})
+	}
+}
+
+// TestEstimateFromAggregateRejectsForeignAggregate checks the scheme
+// guard across mechanism families.
+func TestEstimateFromAggregateRejectsForeignAggregate(t *testing.T) {
+	dom, mechs := lifecycleMechanisms(t)
+	truth := lifecycleTruth(dom)
+	damAgg := mechs["DAM"].NewAggregate()
+	if err := AccumulateHist(mechs["DAM"], damAgg, truth, NewRand(3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []string{"HUEM", "MDSW", "SEM-Geo-I"} {
+		if _, err := mechs[other].EstimateFromAggregate(damAgg); err == nil {
+			t.Fatalf("%s accepted a DAM aggregate", other)
+		}
+	}
+	if _, err := EstimateFromAggregate(mechs["HUEM"], damAgg); err == nil {
+		t.Fatal("package-level EstimateFromAggregate accepted a foreign aggregate")
+	}
+}
+
+// TestCalibrateSEMGeoIMemoized checks that repeated calibrations return
+// the identical budget (the bisection runs once per (d, ε)).
+func TestCalibrateSEMGeoIMemoized(t *testing.T) {
+	dom, err := NewDomain(0, 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := CalibrateSEMGeoI(dom, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different domain geometry with the same grid side must hit the
+	// same memo entry: the calibration depends only on (d, ε).
+	shifted, err := NewDomain(-3, 7, 42, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := CalibrateSEMGeoI(shifted, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("memoized calibration differs: %v vs %v", first, second)
+	}
+}
