@@ -240,8 +240,9 @@ func BenchmarkDAMPerturb(b *testing.B) {
 	}
 }
 
-// BenchmarkEMEstimate measures the PostProcess (EM) step on DAM's channel
-// at d=15.
+// BenchmarkEMEstimate measures the PostProcess (EM) step on DAM's
+// structured (uniform-plus-sparse) channel at d=15 — each sweep costs
+// O(In + Out + nnz) instead of the dense O(In·Out).
 func BenchmarkEMEstimate(b *testing.B) {
 	dom := benchDomain(b, 15)
 	m, err := sam.NewDAM(dom, 3.5)
@@ -256,7 +257,85 @@ func BenchmarkEMEstimate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := em.Estimate(m.Channel(), counts, &em.Options{MaxIter: 100}); err != nil {
+		if _, err := em.Estimate(m.Linear(), counts, &em.Options{MaxIter: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMEstimateDense is the same decode through the dense channel
+// matrix — the pre-structured-kernel baseline the ≥5× win is measured
+// against.
+func BenchmarkEMEstimateDense(b *testing.B) {
+	dom := benchDomain(b, 15)
+	m, err := sam.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	counts := make([]float64, m.NumOutputs())
+	for i := range counts {
+		counts[i] = float64(r.Intn(100))
+	}
+	dense := m.Channel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Estimate(dense, counts, &em.Options{MaxIter: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMEstimateLargeD measures the structured decode at the
+// paper's large-domain setting (d=40, so In=1600): the regime where the
+// dense matrix alone would be In·Out ≈ 4M float64s and every EM
+// iteration O(d⁴).
+func BenchmarkEMEstimateLargeD(b *testing.B) {
+	dom := benchDomain(b, 40)
+	m, err := sam.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	counts := make([]float64, m.NumOutputs())
+	for i := range counts {
+		counts[i] = float64(r.Intn(100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Estimate(m.Linear(), counts, &em.Options{MaxIter: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMEstimateWarm measures the incremental decode: EM on a
+// merged aggregate warm-started from the pre-merge estimate.
+func BenchmarkEMEstimateWarm(b *testing.B) {
+	dom := benchDomain(b, 15)
+	m, err := sam.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	counts := make([]float64, m.NumOutputs())
+	for i := range counts {
+		counts[i] = float64(r.Intn(100))
+	}
+	init, err := em.Estimate(m.Linear(), counts, &em.Options{MaxIter: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	merged := make([]float64, len(counts))
+	for i := range merged {
+		merged[i] = counts[i] + float64(r.Intn(100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Estimate(m.Linear(), merged, &em.Options{MaxIter: 100, Init: init}); err != nil {
 			b.Fatal(err)
 		}
 	}

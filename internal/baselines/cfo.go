@@ -70,7 +70,7 @@ func (c *CFO) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error)
 			counts[c.grr.Perturb(i, r)]++
 		}
 	}
-	est, err := em.Estimate(c.grr.Channel(), counts, nil)
+	est, err := em.Estimate(c.grr.Linear(), counts, nil)
 	if err != nil {
 		return nil, err
 	}

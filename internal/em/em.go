@@ -4,11 +4,23 @@
 // variant of Li et al. (SIGMOD 2020) that regularises the estimate between
 // iterations — in 1-D for the Square Wave baseline and in 2-D for the
 // spatial mechanisms.
+//
+// The engine consumes channels through fo.LinearChannel, so structured
+// channels (uniform-plus-sparse SAM/SW rows, two-valued GRR) run each EM
+// sweep in O(In + nnz) instead of the dense O(In·Out). Dense channels
+// keep a bit-exact sequential path; Options.Workers > 1 selects a
+// deterministic row-block parallel engine whose result is byte-identical
+// for every worker count; Options.Init warm-starts the iteration from a
+// previous estimate for incremental re-estimation over growing
+// aggregates.
 package em
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dpspatial/internal/fo"
 )
@@ -23,6 +35,46 @@ type Options struct {
 	// Smoothing, if non-nil, is applied to the estimate after every EM
 	// step (the "S" in EMS). It must preserve total mass.
 	Smoothing func(p []float64)
+	// Init, if non-nil, warm-starts the iteration from this input
+	// distribution (length NumInputs) instead of uniform. The slice is
+	// copied; entries must be non-negative and are renormalised. Zero
+	// entries are floored at a 1e-12 share of uniform mass so a warm
+	// start can never permanently erase support the merged data calls
+	// for. Warm-starting from the previous estimate after an aggregate
+	// merge converges in far fewer iterations than a cold start.
+	Init []float64
+	// Workers selects the EM engine: values ≤ 1 run the sequential
+	// engine (bit-exact with the historical implementation on dense
+	// channels); values > 1 run the row-block parallel engine with that
+	// many workers. The parallel engine partitions rows into fixed-size
+	// blocks and combines per-block partial sums in block order, so its
+	// result is byte-identical for every worker count (though it may
+	// differ from the sequential engine in the last float64 bits, as any
+	// re-associated summation does).
+	Workers int
+}
+
+// ResolveWorkers maps the public worker-knob convention of this
+// codebase (0 = all cores, n ≥ 1 = n workers) onto Options.Workers,
+// whose zero value deliberately stays sequential for backward
+// compatibility. Every estimation entry point that forwards a
+// mechanism-level worker count should pass it through here.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Stats reports how an EM run terminated.
+type Stats struct {
+	// Iterations is the number of EM updates executed.
+	Iterations int
+	// Delta is the final L1 change between successive estimates.
+	Delta float64
+	// Converged reports whether iteration stopped on Tol (as opposed to
+	// exhausting MaxIter).
+	Converged bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -35,6 +87,8 @@ func (o *Options) withDefaults() Options {
 			out.Tol = o.Tol
 		}
 		out.Smoothing = o.Smoothing
+		out.Init = o.Init
+		out.Workers = o.Workers
 	}
 	return out
 }
@@ -43,31 +97,102 @@ func (o *Options) withDefaults() Options {
 // and returns the maximum-likelihood input distribution (normalised).
 //
 // Update rule: p'_i ∝ p_i · Σ_j c_j · M_ij / (Σ_k p_k · M_kj).
-func Estimate(ch *fo.Channel, counts []float64, opts *Options) ([]float64, error) {
-	if len(counts) != ch.Out {
-		return nil, fmt.Errorf("em: %d counts for channel with %d outputs", len(counts), ch.Out)
+func Estimate(ch fo.LinearChannel, counts []float64, opts *Options) ([]float64, error) {
+	p, _, err := EstimateWithStats(ch, counts, opts)
+	return p, err
+}
+
+// EstimateWithStats is Estimate plus termination statistics — the
+// iteration count is what incremental (warm-started) estimation monitors.
+func EstimateWithStats(ch fo.LinearChannel, counts []float64, opts *Options) ([]float64, Stats, error) {
+	in, out := ch.NumInputs(), ch.NumOutputs()
+	if len(counts) != out {
+		return nil, Stats{}, fmt.Errorf("em: %d counts for channel with %d outputs", len(counts), out)
 	}
 	total := 0.0
 	for j, c := range counts {
 		if c < 0 || math.IsNaN(c) {
-			return nil, fmt.Errorf("em: invalid count %v at %d", c, j)
+			return nil, Stats{}, fmt.Errorf("em: invalid count %v at %d", c, j)
 		}
 		total += c
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("em: no reports")
+		return nil, Stats{}, fmt.Errorf("em: no reports")
 	}
 	o := opts.withDefaults()
 
-	p := make([]float64, ch.In)
-	uniform := 1 / float64(ch.In)
-	for i := range p {
-		p[i] = uniform
+	p, err := initialEstimate(in, o.Init)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	next := make([]float64, ch.In)
-	outMix := make([]float64, ch.Out)
 
+	var step func(p, next []float64)
+	if bc, ok := ch.(fo.BlockChannel); ok && o.Workers > 1 && in > 1 {
+		step = parallelStepper(bc, counts, total, o.Workers)
+	} else if dense, ok := ch.(*fo.Channel); ok {
+		step = denseStepper(dense, counts, total)
+	} else {
+		step = linearStepper(ch, counts, total)
+	}
+
+	next := make([]float64, in)
+	var stats Stats
 	for iter := 0; iter < o.MaxIter; iter++ {
+		step(p, next)
+		normalize(next)
+		if o.Smoothing != nil {
+			o.Smoothing(next)
+			normalize(next)
+		}
+		delta := 0.0
+		for i := range p {
+			delta += math.Abs(next[i] - p[i])
+		}
+		copy(p, next)
+		stats.Iterations = iter + 1
+		stats.Delta = delta
+		if delta < o.Tol {
+			stats.Converged = true
+			break
+		}
+	}
+	return p, stats, nil
+}
+
+// initialEstimate returns the starting distribution: uniform, or a
+// floored and renormalised copy of init.
+func initialEstimate(in int, init []float64) ([]float64, error) {
+	p := make([]float64, in)
+	if init == nil {
+		uniform := 1 / float64(in)
+		for i := range p {
+			p[i] = uniform
+		}
+		return p, nil
+	}
+	if len(init) != in {
+		return nil, fmt.Errorf("em: warm-start estimate has %d entries for channel with %d inputs", len(init), in)
+	}
+	floor := 1e-12 / float64(in)
+	for i, v := range init {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("em: invalid warm-start probability %v at %d", v, i)
+		}
+		if v < floor {
+			v = floor
+		}
+		p[i] = v
+	}
+	normalize(p)
+	return p, nil
+}
+
+// denseStepper reproduces the historical sequential dense iteration bit
+// for bit (same loop structure and operation order), so existing
+// sequential pipelines remain byte-identical.
+func denseStepper(ch *fo.Channel, counts []float64, total float64) func(p, next []float64) {
+	outMix := make([]float64, ch.Out)
+	return func(p, next []float64) {
 		// E step: predicted output mixture under the current estimate.
 		for j := range outMix {
 			outMix[j] = 0
@@ -96,21 +221,114 @@ func Estimate(ch *fo.Channel, counts []float64, opts *Options) ([]float64, error
 			}
 			next[i] = p[i] * acc / total
 		}
-		normalize(next)
-		if o.Smoothing != nil {
-			o.Smoothing(next)
-			normalize(next)
+	}
+}
+
+// linearStepper runs one EM iteration through the channel's Forward and
+// Backward sweeps — O(In + Out + nnz) for structured channels.
+func linearStepper(ch fo.LinearChannel, counts []float64, total float64) func(p, next []float64) {
+	outMix := make([]float64, ch.NumOutputs())
+	w := make([]float64, ch.NumOutputs())
+	return func(p, next []float64) {
+		ch.Forward(p, outMix)
+		for j := range w {
+			if counts[j] != 0 && outMix[j] > 0 {
+				w[j] = counts[j] / outMix[j]
+			} else {
+				w[j] = 0
+			}
 		}
-		delta := 0.0
-		for i := range p {
-			delta += math.Abs(next[i] - p[i])
-		}
-		copy(p, next)
-		if delta < o.Tol {
-			break
+		ch.Backward(w, next)
+		for i := range next {
+			next[i] = p[i] * next[i] / total
 		}
 	}
-	return p, nil
+}
+
+// emBlockRows is the fixed row-block granularity of the parallel engine.
+// It is a constant (not derived from the worker count), so the block
+// partition — and therefore the order partial sums are combined in — is
+// identical for every worker count.
+const emBlockRows = 256
+
+// parallelStepper runs both EM sweeps over fixed row blocks fanned out
+// across workers. E-step partials are accumulated per block and merged
+// in block order; the M step writes disjoint row ranges. Both are
+// deterministic regardless of scheduling, so the estimate is
+// byte-identical across worker counts.
+func parallelStepper(ch fo.BlockChannel, counts []float64, total float64, workers int) func(p, next []float64) {
+	in, out := ch.NumInputs(), ch.NumOutputs()
+	numBlocks := (in + emBlockRows - 1) / emBlockRows
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	outMix := make([]float64, out)
+	w := make([]float64, out)
+	partials := make([][]float64, numBlocks)
+	for b := range partials {
+		partials[b] = make([]float64, out)
+	}
+	blockRange := func(b int) (int, int) {
+		lo := b * emBlockRows
+		hi := lo + emBlockRows
+		if hi > in {
+			hi = in
+		}
+		return lo, hi
+	}
+	runBlocks := func(f func(b int)) {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					b := int(cursor.Add(1)) - 1
+					if b >= numBlocks {
+						return
+					}
+					f(b)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return func(p, next []float64) {
+		// E step: per-block partial output mixtures, merged in block order.
+		runBlocks(func(b int) {
+			lo, hi := blockRange(b)
+			buf := partials[b]
+			for j := range buf {
+				buf[j] = 0
+			}
+			ch.ForwardBlock(lo, hi, p, buf)
+		})
+		for j := range outMix {
+			outMix[j] = 0
+		}
+		for b := 0; b < numBlocks; b++ {
+			buf := partials[b]
+			for j := range outMix {
+				outMix[j] += buf[j]
+			}
+		}
+		for j := range w {
+			if counts[j] != 0 && outMix[j] > 0 {
+				w[j] = counts[j] / outMix[j]
+			} else {
+				w[j] = 0
+			}
+		}
+		// M step: disjoint row ranges, inherently deterministic.
+		runBlocks(func(b int) {
+			lo, hi := blockRange(b)
+			ch.BackwardBlock(lo, hi, w, next)
+		})
+		for i := range next {
+			next[i] = p[i] * next[i] / total
+		}
+	}
 }
 
 func normalize(p []float64) {

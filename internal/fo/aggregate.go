@@ -140,37 +140,107 @@ func (a *Aggregate) Compatible(rep Reporter) error {
 	return nil
 }
 
-// aggregateMagic opens every binary-encoded aggregate ("DPA" + version).
-var aggregateMagic = []byte("DPA1")
+// Every binary-encoded aggregate opens with "DPA" plus a format-version
+// byte. Version 1 stores each plane as a dense float64 vector; version 2
+// prefixes each plane with an encoding byte and stores mostly-zero
+// planes as index/value pairs, so large-domain aggregates stop shipping
+// dense zero runs over the wire. UnmarshalBinary accepts both.
+var (
+	aggregateMagic   = []byte("DPA1")
+	aggregateMagicV2 = []byte("DPA2")
+)
 
-// MarshalBinary encodes the aggregate deterministically: magic, scheme,
-// plane count, then each plane as a length-prefixed little-endian float64
-// vector, then N. The same aggregate always yields the same bytes.
+// Per-plane encodings of the version-2 format.
+const (
+	planeDense  = 0 // uvarint len, len × float64
+	planeSparse = 1 // uvarint len, uvarint nnz, nnz × (uvarint index, float64); indices strictly increasing
+)
+
+// maxSparsePlaneCells bounds the allocation a sparse-encoded plane may
+// request: its logical size is intentionally decoupled from the payload
+// length, so a hostile blob could otherwise name a plane of 2⁶¹ cells.
+// 2²⁸ cells (2 GiB dense) is far beyond any grid this system builds.
+const maxSparsePlaneCells = 1 << 28
+
+// sparseEncodedSize returns the byte cost of sparse-encoding a plane
+// (excluding the shared length prefix); callers compare it against the
+// dense cost 8·len and pick the smaller encoding.
+func sparseEncodedSize(plane []float64) int {
+	size := 0
+	nnz := 0
+	for j, v := range plane {
+		if v != 0 {
+			nnz++
+			size += uvarintLen(uint64(j)) + 8
+		}
+	}
+	return size + uvarintLen(uint64(nnz))
+}
+
+func uvarintLen(v uint64) int {
+	var b [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(b[:], v)
+}
+
+// MarshalBinary encodes the aggregate deterministically in the version-2
+// format: magic, scheme, plane count, then each plane with an encoding
+// byte — dense (length-prefixed little-endian float64 vector) or sparse
+// (index/value pairs), whichever is smaller — then N. The same aggregate
+// always yields the same bytes.
 func (a *Aggregate) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
-	buf.Write(aggregateMagic)
+	buf.Write(aggregateMagicV2)
 	writeUvarint(&buf, uint64(len(a.Scheme)))
 	buf.WriteString(a.Scheme)
 	writeUvarint(&buf, uint64(len(a.Planes)))
+	var b [8]byte
 	for _, plane := range a.Planes {
-		writeUvarint(&buf, uint64(len(plane)))
-		for _, v := range plane {
-			var b [8]byte
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-			buf.Write(b[:])
+		if sparseEncodedSize(plane) < 8*len(plane) {
+			buf.WriteByte(planeSparse)
+			writeUvarint(&buf, uint64(len(plane)))
+			nnz := 0
+			for _, v := range plane {
+				if v != 0 {
+					nnz++
+				}
+			}
+			writeUvarint(&buf, uint64(nnz))
+			for j, v := range plane {
+				if v == 0 {
+					continue
+				}
+				writeUvarint(&buf, uint64(j))
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				buf.Write(b[:])
+			}
+		} else {
+			buf.WriteByte(planeDense)
+			writeUvarint(&buf, uint64(len(plane)))
+			for _, v := range plane {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				buf.Write(b[:])
+			}
 		}
 	}
-	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], math.Float64bits(a.N))
 	buf.Write(b[:])
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary decodes MarshalBinary's format in place.
+// UnmarshalBinary decodes either binary format version in place.
 func (a *Aggregate) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
 	magic := make([]byte, len(aggregateMagic))
-	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, aggregateMagic) {
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("fo: not a binary aggregate (bad magic)")
+	}
+	var version int
+	switch {
+	case bytes.Equal(magic, aggregateMagic):
+		version = 1
+	case bytes.Equal(magic, aggregateMagicV2):
+		version = 2
+	default:
 		return fmt.Errorf("fo: not a binary aggregate (bad magic)")
 	}
 	schemeLen, err := binary.ReadUvarint(r)
@@ -193,20 +263,64 @@ func (a *Aggregate) UnmarshalBinary(data []byte) error {
 	}
 	planes := make([][]float64, numPlanes)
 	for p := range planes {
+		encoding := byte(planeDense)
+		if version >= 2 {
+			enc, err := r.ReadByte()
+			if err != nil {
+				return fmt.Errorf("fo: truncated plane %d encoding: %v", p, err)
+			}
+			encoding = enc
+		}
 		size, err := binary.ReadUvarint(r)
 		if err != nil {
 			return fmt.Errorf("fo: truncated plane %d size: %v", p, err)
 		}
-		if size > uint64(r.Len())/8 {
-			return fmt.Errorf("fo: plane %d size %d exceeds payload", p, size)
-		}
-		planes[p] = make([]float64, size)
-		for j := range planes[p] {
-			var b [8]byte
-			if _, err := io.ReadFull(r, b[:]); err != nil {
-				return fmt.Errorf("fo: truncated plane %d: %v", p, err)
+		switch encoding {
+		case planeDense:
+			if size > uint64(r.Len())/8 {
+				return fmt.Errorf("fo: plane %d size %d exceeds payload", p, size)
 			}
-			planes[p][j] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+			planes[p] = make([]float64, size)
+			for j := range planes[p] {
+				var b [8]byte
+				if _, err := io.ReadFull(r, b[:]); err != nil {
+					return fmt.Errorf("fo: truncated plane %d: %v", p, err)
+				}
+				planes[p][j] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+			}
+		case planeSparse:
+			// The logical size is decoupled from the payload length (that
+			// is the point of the encoding), so bound the allocation by a
+			// sanity cap instead.
+			if size > maxSparsePlaneCells {
+				return fmt.Errorf("fo: plane %d sparse size %d exceeds the %d-cell cap", p, size, maxSparsePlaneCells)
+			}
+			nnz, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("fo: truncated plane %d entry count: %v", p, err)
+			}
+			if nnz > size || nnz > uint64(r.Len())/9 {
+				return fmt.Errorf("fo: plane %d has %d sparse entries for size %d", p, nnz, size)
+			}
+			planes[p] = make([]float64, size)
+			prev := -1
+			for k := uint64(0); k < nnz; k++ {
+				j, err := binary.ReadUvarint(r)
+				if err != nil {
+					return fmt.Errorf("fo: truncated plane %d sparse index: %v", p, err)
+				}
+				if j >= size || int(j) <= prev {
+					return fmt.Errorf("fo: plane %d sparse index %d out of order or range", p, j)
+				}
+				prev = int(j)
+				var b [8]byte
+				if _, err := io.ReadFull(r, b[:]); err != nil {
+					return fmt.Errorf("fo: truncated plane %d sparse value: %v", p, err)
+				}
+				planes[p][j] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+			}
+		default:
+			return fmt.Errorf("fo: plane %d has unknown encoding %d", p, encoding)
 		}
 	}
 	var b [8]byte

@@ -184,6 +184,162 @@ func TestAggregateBinaryRejectsGarbage(t *testing.T) {
 	}
 }
 
+// marshalBinaryV1 encodes an aggregate in the legacy DPA1 format (dense
+// planes, no encoding byte) so decoder compatibility stays pinned.
+func marshalBinaryV1(a *Aggregate) []byte {
+	var buf []byte
+	buf = append(buf, aggregateMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(a.Scheme)))
+	buf = append(buf, a.Scheme...)
+	buf = binary.AppendUvarint(buf, uint64(len(a.Planes)))
+	for _, plane := range a.Planes {
+		buf = binary.AppendUvarint(buf, uint64(len(plane)))
+		for _, v := range plane {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.N))
+}
+
+func TestAggregateDecodesLegacyV1(t *testing.T) {
+	g, err := NewGRR(6, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := grrAggregate(t, g, 300, 4)
+	var back Aggregate
+	if err := back.UnmarshalBinary(marshalBinaryV1(agg)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, agg) {
+		t.Fatal("legacy DPA1 decode changed the aggregate")
+	}
+	// And the v2 re-encode of the decoded value round-trips too.
+	blob, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again Aggregate
+	if err := again.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&again, agg) {
+		t.Fatal("v1→v2 re-encode changed the aggregate")
+	}
+}
+
+func TestAggregateSparsePlaneCompaction(t *testing.T) {
+	// A mostly-zero plane (the large-d regime) must be stored as
+	// index/value pairs: far smaller than the dense 8 bytes/cell, with a
+	// lossless, deterministic round trip.
+	plane := make([]float64, 4096)
+	plane[3] = 17
+	plane[1024] = 1
+	plane[4095] = 250
+	agg := &Aggregate{Scheme: "sparse-test", Planes: [][]float64{plane}, N: 268}
+	blob, err := agg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) >= 8*len(plane) {
+		t.Fatalf("sparse plane encoded to %d bytes, dense would be %d", len(blob), 8*len(plane))
+	}
+	var back Aggregate
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, agg) {
+		t.Fatal("sparse round-trip changed the aggregate")
+	}
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(blob, blob2) {
+		t.Fatal("sparse encoding is not deterministic")
+	}
+}
+
+func TestAggregateDensePlaneStaysDense(t *testing.T) {
+	// A plane with no zeros must not pay the sparse index overhead.
+	plane := []float64{5, 1, 9, 2, 7, 3}
+	agg := &Aggregate{Scheme: "dense-test", Planes: [][]float64{plane}, N: 27}
+	blob, err := agg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Aggregate
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, agg) {
+		t.Fatal("dense round-trip changed the aggregate")
+	}
+	// magic + schemeLen + scheme + planeCount + encoding + planeLen +
+	// 6 float64s + N: the plane payload must be exactly dense-sized.
+	wantLen := 4 + 1 + len("dense-test") + 1 + 1 + 1 + 8*6 + 8
+	if len(blob) != wantLen {
+		t.Fatalf("dense encoding is %d bytes, want %d", len(blob), wantLen)
+	}
+}
+
+func TestAggregateMixedEncodingPlanes(t *testing.T) {
+	// One sparse and one dense plane in the same aggregate: each plane
+	// picks its own encoding independently.
+	sparse := make([]float64, 512)
+	sparse[100] = 40
+	dense := []float64{10, 10, 10, 10}
+	agg := &Aggregate{Scheme: "mixed", Planes: [][]float64{sparse, dense}, N: 40}
+	blob, err := agg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Aggregate
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, agg) {
+		t.Fatal("mixed-encoding round-trip changed the aggregate")
+	}
+}
+
+func TestAggregateBinaryRejectsBadV2(t *testing.T) {
+	var a Aggregate
+	// Unknown future version.
+	if err := a.UnmarshalBinary([]byte("DPA3\x00\x00")); err == nil {
+		t.Fatal("unknown format version should fail")
+	}
+	// Unknown plane encoding byte.
+	evil := append([]byte{}, aggregateMagicV2...)
+	evil = append(evil, 0) // empty scheme
+	evil = append(evil, 1) // one plane
+	evil = append(evil, 7) // bogus encoding
+	evil = append(evil, 0) // size
+	if err := a.UnmarshalBinary(evil); err == nil {
+		t.Fatal("unknown plane encoding should fail")
+	}
+	// Sparse entry count exceeding the plane size.
+	evil = append([]byte{}, aggregateMagicV2...)
+	evil = append(evil, 0, 1, planeSparse)
+	evil = binary.AppendUvarint(evil, 4)  // size 4
+	evil = binary.AppendUvarint(evil, 10) // nnz 10 > size
+	if err := a.UnmarshalBinary(evil); err == nil {
+		t.Fatal("overflowing sparse entry count should fail")
+	}
+	// Out-of-order sparse indices.
+	evil = append([]byte{}, aggregateMagicV2...)
+	evil = append(evil, 0, 1, planeSparse)
+	evil = binary.AppendUvarint(evil, 8) // size
+	evil = binary.AppendUvarint(evil, 2) // nnz
+	evil = binary.AppendUvarint(evil, 5)
+	evil = binary.LittleEndian.AppendUint64(evil, math.Float64bits(1))
+	evil = binary.AppendUvarint(evil, 3) // decreasing index
+	evil = binary.LittleEndian.AppendUint64(evil, math.Float64bits(1))
+	if err := a.UnmarshalBinary(evil); err == nil {
+		t.Fatal("out-of-order sparse indices should fail")
+	}
+}
+
 func TestAggregateJSONRoundTrip(t *testing.T) {
 	g, err := NewGRR(6, 2.0)
 	if err != nil {

@@ -108,6 +108,18 @@ func (g *GRR) EstimateAggregate(agg *Aggregate) ([]float64, error) {
 	return g.Estimate(agg.Planes[0])
 }
 
+// Linear returns GRR's channel in its two-valued closed form (p on the
+// diagonal, q elsewhere), which EM sweeps in O(k) instead of the dense
+// O(k²).
+func (g *GRR) Linear() *TwoValue {
+	t, err := NewTwoValue(g.k, g.p, g.q)
+	if err != nil {
+		// Unreachable: p + (k−1)·q = 1 by construction.
+		panic(fmt.Sprintf("fo: GRR channel invalid: %v", err))
+	}
+	return t
+}
+
 // Channel returns GRR's explicit channel matrix.
 func (g *GRR) Channel() *Channel {
 	ch := NewChannel(g.k, g.k)

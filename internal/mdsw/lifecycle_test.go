@@ -1,0 +1,135 @@
+package mdsw
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/fo"
+	"dpspatial/internal/rng"
+)
+
+// TestSWLinearMatchesDense: the structured Square Wave channel must be
+// the dense channel bit for bit.
+func TestSWLinearMatchesDense(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 3} {
+		s, err := NewSW(16, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, dense := s.Linear(), s.Channel()
+		if lin.NumInputs() != dense.In || lin.NumOutputs() != dense.Out {
+			t.Fatalf("eps=%v: dimensions differ", eps)
+		}
+		for i := 0; i < dense.In; i++ {
+			got, want := lin.Row(i), dense.Row(i)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("eps=%v row %d col %d: %v != %v", eps, i, j, got[j], want[j])
+				}
+			}
+		}
+		// The compaction must actually be sparse: the wave window spans
+		// ~2b·d buckets, far fewer than the padded output domain for
+		// informative budgets.
+		if nnz, dense := lin.NNZ(), lin.NumInputs()*lin.NumOutputs(); nnz >= dense {
+			t.Fatalf("eps=%v: %d overrides for a %d-entry matrix", eps, nnz, dense)
+		}
+	}
+}
+
+// TestSWReportLifecycleMatchesMonolithic: accumulating per-value reports
+// into an aggregate and decoding it must reproduce the historical
+// Perturb-and-count pipeline exactly — same RNG stream, same counts,
+// same estimate.
+func TestSWReportLifecycleMatchesMonolithic(t *testing.T) {
+	s, err := NewSW(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int, 4000)
+	vr := rng.New(3)
+	for i := range values {
+		values[i] = vr.Intn(10)
+	}
+
+	// Historical path: Perturb into a count vector.
+	r1 := rng.New(17)
+	counts := make([]float64, s.NumOutputs())
+	for _, v := range values {
+		counts[s.Perturb(v, r1)]++
+	}
+	wantEst, err := s.Estimate(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lifecycle path: Report → Aggregate (two shards, merged) → decode.
+	r2 := rng.New(17)
+	shards := []*fo.Aggregate{s.NewAggregate(), s.NewAggregate()}
+	for i, v := range values {
+		rep, err := s.Report(v, r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shards[i%2].Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := shards[0].Clone()
+	if err := merged.Merge(shards[1]); err != nil {
+		t.Fatal(err)
+	}
+	if merged.N != float64(len(values)) {
+		t.Fatalf("aggregate N = %v, want %d", merged.N, len(values))
+	}
+	for j := range counts {
+		if merged.Planes[0][j] != counts[j] {
+			t.Fatalf("bucket %d: aggregate %v, monolithic %v", j, merged.Planes[0][j], counts[j])
+		}
+	}
+	gotEst, err := s.EstimateFromAggregate(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantEst {
+		if math.Abs(gotEst[i]-wantEst[i]) > 1e-15 {
+			t.Fatalf("bucket %d: lifecycle estimate %v, monolithic %v", i, gotEst[i], wantEst[i])
+		}
+	}
+}
+
+func TestSWReportRejectsBadInput(t *testing.T) {
+	s, err := NewSW(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	if _, err := s.Report(-1, r); err == nil {
+		t.Fatal("negative bucket accepted")
+	}
+	if _, err := s.Report(6, r); err == nil {
+		t.Fatal("out-of-range bucket accepted")
+	}
+}
+
+func TestSWEstimateFromAggregateRejectsIncompatible(t *testing.T) {
+	a, err := NewSW(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSW(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := a.NewAggregate()
+	rep, err := a.Report(2, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.EstimateFromAggregate(agg); err == nil {
+		t.Fatal("incompatible aggregate accepted")
+	}
+}

@@ -27,11 +27,19 @@ import (
 //
 //	b = (ε·e^ε − e^ε + 1) / (2e^ε·(e^ε − 1 − ε)).
 type SW struct {
-	d       int
-	eps     float64
-	b       float64 // wave half-width in [0,1] units
-	pad     int     // output buckets added on each side
-	channel *fo.Channel
+	d   int
+	eps float64
+	b   float64 // wave half-width in [0,1] units
+	pad int     // output buckets added on each side
+	// linear is the exact bucket channel in uniform-plus-sparse form:
+	// each row is the pure-low integral everywhere except the buckets
+	// touched by the high-density window or the domain-edge clipping.
+	// Estimation runs on it; the dense matrix materialises only on
+	// demand.
+	linear *fo.UniformSparse
+
+	denseOnce sync.Once
+	dense     *fo.Channel
 
 	samplersOnce sync.Once
 	samplers     []*rng.Alias
@@ -67,8 +75,10 @@ func NewSW(d int, eps float64) (*SW, error) {
 	}
 	s := &SW{d: d, eps: eps, b: b}
 	s.pad = int(math.Ceil(b * float64(d)))
-	s.buildChannel()
-	if err := s.channel.Validate(); err != nil {
+	if err := s.buildChannel(); err != nil {
+		return nil, err
+	}
+	if err := s.linear.Validate(); err != nil {
 		return nil, fmt.Errorf("mdsw: internal channel invalid: %w", err)
 	}
 	return s, nil
@@ -76,18 +86,21 @@ func NewSW(d int, eps float64) (*SW, error) {
 
 // buildChannel integrates the square wave exactly over each output bucket.
 // Output bucket j (j = 0..d+2·pad−1) spans
-// [(j−pad)/d, (j−pad+1)/d] ⊇ [−b, 1+b].
-func (s *SW) buildChannel() {
+// [(j−pad)/d, (j−pad+1)/d] ⊇ [−b, 1+b]. Each row is computed densely in
+// a scratch buffer and compacted to base-plus-overrides, so the stored
+// channel is O(d·window) instead of O(d·(d+2·pad)) while materialised
+// rows stay bit-identical to the historical dense matrix.
+func (s *SW) buildChannel() error {
 	ee := math.Exp(s.eps)
 	q := 1 / (2*s.b*ee + 1)
 	p := ee * q
 	nOut := s.d + 2*s.pad
-	ch := fo.NewChannel(s.d, nOut)
+	b := fo.NewUniformSparseBuilder(s.d, nOut)
+	row := make([]float64, nOut)
 	w := 1 / float64(s.d)
 	for i := 0; i < s.d; i++ {
 		v := (float64(i) + 0.5) * w // input bucket centre
 		lo, hi := v-s.b, v+s.b      // high-density window
-		row := ch.Row(i)
 		for j := 0; j < nOut; j++ {
 			a := float64(j-s.pad) * w
 			bEdge := a + w
@@ -111,8 +124,14 @@ func (s *SW) buildChannel() {
 		for j := range row {
 			row[j] /= sum
 		}
+		b.CompactRow(row)
 	}
-	s.channel = ch
+	linear, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("mdsw: %w", err)
+	}
+	s.linear = linear
+	return nil
 }
 
 // NumInputs returns d.
@@ -127,25 +146,72 @@ func (s *SW) Epsilon() float64 { return s.eps }
 // WaveWidth returns the continuous half-width b.
 func (s *SW) WaveWidth() float64 { return s.b }
 
-// Channel exposes the exact bucket-level channel.
-func (s *SW) Channel() *fo.Channel { return s.channel }
+// Linear exposes the exact bucket-level channel in its structured
+// uniform-plus-sparse form — the representation estimation runs on.
+func (s *SW) Linear() *fo.UniformSparse { return s.linear }
+
+// Channel materialises the dense bucket-level channel on first use
+// (shared; treat as read-only). Estimation never needs it.
+func (s *SW) Channel() *fo.Channel {
+	s.denseOnce.Do(func() {
+		s.dense = s.linear.Dense()
+	})
+	return s.dense
+}
 
 // Samplers returns the per-input-bucket alias tables, building them once
 // on first use. The returned slice is shared; treat it as read-only.
 func (s *SW) Samplers() ([]*rng.Alias, error) {
 	s.samplersOnce.Do(func() {
-		s.samplers, s.samplersErr = s.channel.Samplers()
+		s.samplers, s.samplersErr = s.linear.Samplers()
 	})
 	return s.samplers, s.samplersErr
 }
 
-// Perturb randomises one input bucket into an output bucket.
+// Perturb randomises one input bucket into an output bucket. It keeps
+// the historical single-uniform WeightedChoice draw over the dense row,
+// so every sequential pipeline built on it (MDSW reports, Estimate1D)
+// stays byte-identical across releases.
 func (s *SW) Perturb(input int, r *rng.RNG) int {
-	return rng.WeightedChoice(r, s.channel.Row(input))
+	return rng.WeightedChoice(r, s.Channel().Row(input))
 }
 
 // Estimate recovers the input bucket distribution from output counts via
-// EM with the 1-D binomial smoothing of Li et al. (the EMS estimator).
+// EM with the 1-D binomial smoothing of Li et al. (the EMS estimator),
+// running on the structured channel (whose re-associated float sums
+// agree with the historical dense decode to ~1e-9, not bitwise).
 func (s *SW) Estimate(counts []float64) ([]float64, error) {
-	return em.Estimate(s.channel, counts, &em.Options{Smoothing: em.Smoother1D()})
+	return em.Estimate(s.linear, counts, &em.Options{Smoothing: em.Smoother1D()})
+}
+
+// Scheme implements fo.Reporter: the report format is fixed by the
+// bucket count and budget (which determine the wave width and padding).
+func (s *SW) Scheme() string {
+	return fmt.Sprintf("mdsw/sw d=%d eps=%g", s.d, s.eps)
+}
+
+// ReportShape implements fo.Reporter: one plane of padded bucket counts.
+func (s *SW) ReportShape() []int { return []int{s.NumOutputs()} }
+
+// Report implements fo.Reporter: encode one user's input bucket into an
+// LDP report. It wraps Perturb, so a report loop consumes exactly the
+// stream the historical collect-monolithic path did.
+func (s *SW) Report(input int, r *rng.RNG) (fo.Report, error) {
+	if input < 0 || input >= s.d {
+		return fo.Report{}, fmt.Errorf("mdsw: input bucket %d outside [0, %d)", input, s.d)
+	}
+	return fo.SingleIndexReport(s.Perturb(input, r)), nil
+}
+
+// NewAggregate allocates an empty aggregate for this oracle's reports.
+func (s *SW) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(s) }
+
+// EstimateFromAggregate decodes an accumulated aggregate (one shard or a
+// merge of many) into the estimated bucket distribution — the estimator
+// stage of the 1-D report lifecycle.
+func (s *SW) EstimateFromAggregate(agg *fo.Aggregate) ([]float64, error) {
+	if err := agg.Compatible(s); err != nil {
+		return nil, fmt.Errorf("mdsw: %w", err)
+	}
+	return s.Estimate(agg.Planes[0])
 }

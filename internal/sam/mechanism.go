@@ -32,9 +32,17 @@ type Mechanism struct {
 	outIdx  map[geom.Cell]int
 	pHat    float64 // probability of a unit cell at weight e^ε
 	qHat    float64 // probability of a unit cell at weight 1
-	channel *fo.Channel
-	smooth  bool
-	workers int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
+	// linear is the exact channel in uniform-plus-sparse form: every row
+	// is q̂ everywhere except the wave-offset cells. It is the only
+	// representation estimation touches, so a large grid never pays for —
+	// or stores — the dense d²×|D̃| matrix.
+	linear     *fo.UniformSparse
+	smooth     bool
+	workers    int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
+	estWorkers int // EM row-block fan-out: 1 = sequential, 0 = GOMAXPROCS
+
+	denseOnce sync.Once
+	dense     *fo.Channel
 
 	samplersOnce sync.Once
 	samplers     []*rng.Alias
@@ -50,9 +58,10 @@ type weightedOffset struct {
 type Option func(*config)
 
 type config struct {
-	bHat    *int
-	smooth  bool
-	workers *int
+	bHat       *int
+	smooth     bool
+	workers    *int
+	estWorkers *int
 }
 
 // WithBHat overrides the discrete radius b̂ (otherwise ⌊b̌⌋ from Section
@@ -73,6 +82,15 @@ func WithSmoothing() Option {
 // are reproducible only for a fixed seed and worker count.
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = &n }
+}
+
+// WithEstimateWorkers fans the EM decoding step out across n row-block
+// workers (0 = GOMAXPROCS). The default of 1 runs the sequential engine;
+// the parallel engine is deterministic — byte-identical for every worker
+// count — though its re-associated partial sums may differ from the
+// sequential engine in the last float64 bits.
+func WithEstimateWorkers(n int) Option {
+	return func(c *config) { c.estWorkers = &n }
 }
 
 // NewDAM builds the discrete Disk Area Mechanism with border shrinkage
@@ -183,8 +201,15 @@ func build(name string, dom grid.Domain, eps float64, wf weightsFunc, opts ...Op
 			return nil, fmt.Errorf("sam: negative worker count %d", workers)
 		}
 	}
+	estWorkers := 1
+	if cfg.estWorkers != nil {
+		estWorkers = *cfg.estWorkers
+		if estWorkers < 0 {
+			return nil, fmt.Errorf("sam: negative estimate worker count %d", estWorkers)
+		}
+	}
 
-	m := &Mechanism{name: name, dom: dom, eps: eps, bHat: bHat, smooth: cfg.smooth, workers: workers}
+	m := &Mechanism{name: name, dom: dom, eps: eps, bHat: bHat, smooth: cfg.smooth, workers: workers, estWorkers: estWorkers}
 	m.offsets = wf(eps, bHat)
 	sort.Slice(m.offsets, func(i, j int) bool {
 		a, b := m.offsets[i].off, m.offsets[j].off
@@ -204,8 +229,10 @@ func build(name string, dom grid.Domain, eps float64, wf weightsFunc, opts ...Op
 	if err := m.computeProbabilities(); err != nil {
 		return nil, err
 	}
-	m.buildChannel()
-	if err := m.channel.Validate(); err != nil {
+	if err := m.buildChannel(); err != nil {
+		return nil, err
+	}
+	if err := m.linear.Validate(); err != nil {
 		return nil, fmt.Errorf("sam: internal channel invalid: %w", err)
 	}
 	return m, nil
@@ -260,21 +287,29 @@ func (m *Mechanism) computeProbabilities() error {
 	return nil
 }
 
-func (m *Mechanism) buildChannel() {
+// buildChannel assembles the channel directly in uniform-plus-sparse
+// form: row i is q̂ on all of D̃ with one override per wave offset. Memory
+// and build time are O(d²·|footprint|); the dense matrix is never formed.
+func (m *Mechanism) buildChannel() error {
 	nIn := m.dom.NumCells()
 	nOut := len(m.out)
-	ch := fo.NewChannel(nIn, nOut)
+	b := fo.NewUniformSparseBuilder(nIn, nOut)
+	idx := make([]int, len(m.offsets))
+	val := make([]float64, len(m.offsets))
 	for i := 0; i < nIn; i++ {
 		base := m.dom.CellAt(i)
-		row := ch.Row(i)
-		for j := range row {
-			row[j] = m.qHat
+		for k, wo := range m.offsets {
+			idx[k] = m.outIdx[base.Add(wo.off)]
+			val[k] = wo.weight * m.qHat
 		}
-		for _, wo := range m.offsets {
-			row[m.outIdx[base.Add(wo.off)]] = wo.weight * m.qHat
-		}
+		b.Row(m.qHat, idx, val)
 	}
-	m.channel = ch
+	linear, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("sam: %w", err)
+	}
+	m.linear = linear
+	return nil
 }
 
 // Name returns the mechanism's display name.
@@ -302,17 +337,31 @@ func (m *Mechanism) OutputCells() []geom.Cell { return m.out }
 // PQ returns the discrete unit-cell probabilities (p̂, q̂).
 func (m *Mechanism) PQ() (float64, float64) { return m.pHat, m.qHat }
 
-// Channel returns the exact per-cell reporting channel (shared; treat as
-// read-only).
-func (m *Mechanism) Channel() *fo.Channel { return m.channel }
+// Linear returns the exact per-cell reporting channel in its structured
+// uniform-plus-sparse form — the representation estimation runs on
+// (shared; treat as read-only).
+func (m *Mechanism) Linear() *fo.UniformSparse { return m.linear }
+
+// Channel materialises the dense per-cell reporting channel on first use
+// (shared; treat as read-only). Estimation never needs it; it exists for
+// the local-privacy adversary and for row-level inspection, and costs the
+// full O(d²·|D̃|) matrix — prefer Linear.
+func (m *Mechanism) Channel() *fo.Channel {
+	m.denseOnce.Do(func() {
+		m.dense = m.linear.Dense()
+	})
+	return m.dense
+}
 
 // Samplers returns the per-input-cell alias tables for O(1) perturbation,
 // building them once on first use (the experiment harness re-collects
-// from the same mechanism across repeats). The returned slice is shared;
+// from the same mechanism across repeats). The tables are built from rows
+// materialised one at a time, so they are bit-identical to the dense
+// channel's without holding the matrix. The returned slice is shared;
 // treat it as read-only.
 func (m *Mechanism) Samplers() ([]*rng.Alias, error) {
 	m.samplersOnce.Do(func() {
-		m.samplers, m.samplersErr = m.channel.Samplers()
+		m.samplers, m.samplersErr = m.linear.Samplers()
 	})
 	return m.samplers, m.samplersErr
 }
@@ -320,20 +369,36 @@ func (m *Mechanism) Samplers() ([]*rng.Alias, error) {
 // Perturb randomises one user's input cell index into an output cell
 // index (GridAreaResponse, Algorithm 2: the two-stage weighted sampling
 // over {pure-low, shrunken, complement, pure-high} collapses to one exact
-// categorical draw over the channel row). For bulk collection prefer
-// Samplers.
+// categorical draw over the channel row), through the cached alias
+// samplers — O(1) per draw instead of the former O(|D̃|) linear scan.
+// The draw consumes the same stream as Report always has; it differs
+// from the pre-alias WeightedChoice stream (two uniforms per draw
+// instead of one), which only ever fed Perturb-driven test loops.
 func (m *Mechanism) Perturb(input int, r *rng.RNG) int {
-	return rng.WeightedChoice(r, m.channel.Row(input))
+	samplers, err := m.Samplers()
+	if err != nil {
+		// Unreachable: the channel is validated at construction, so every
+		// row yields a well-formed alias table.
+		panic(fmt.Sprintf("sam: samplers unavailable: %v", err))
+	}
+	return samplers[input].Draw(r)
 }
 
-// Estimate recovers the normalised input distribution from output counts
-// via EM (PostProcess of Algorithm 1), with optional 2-D smoothing.
-func (m *Mechanism) Estimate(counts []float64) ([]float64, error) {
-	opts := &em.Options{}
+// emOptions assembles the EM options shared by every estimation entry
+// point: smoothing and the configured row-block fan-out.
+func (m *Mechanism) emOptions() *em.Options {
+	opts := &em.Options{Workers: em.ResolveWorkers(m.estWorkers)}
 	if m.smooth {
 		opts.Smoothing = em.Smoother2D(m.dom.D)
 	}
-	return em.Estimate(m.channel, counts, opts)
+	return opts
+}
+
+// Estimate recovers the normalised input distribution from output counts
+// via EM (PostProcess of Algorithm 1) on the structured channel, with
+// optional 2-D smoothing.
+func (m *Mechanism) Estimate(counts []float64) ([]float64, error) {
+	return em.Estimate(m.linear, counts, m.emOptions())
 }
 
 // Scheme implements fo.Reporter: the report format is fixed by the wave
@@ -390,6 +455,31 @@ func (m *Mechanism) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, erro
 		return nil, err
 	}
 	return grid.HistFromMass(m.dom, est)
+}
+
+// EstimateFromAggregateWarm decodes an aggregate starting EM from a
+// previous estimate instead of uniform — the incremental path for
+// streaming pipelines that re-estimate as shards keep merging. A nil
+// init is a cold start. The returned stats expose the iteration count a
+// streaming caller monitors; warm starts from the pre-merge estimate
+// converge in far fewer iterations than cold starts.
+func (m *Mechanism) EstimateFromAggregateWarm(agg *fo.Aggregate, init *grid.Hist2D) (*grid.Hist2D, em.Stats, error) {
+	if err := agg.Compatible(m); err != nil {
+		return nil, em.Stats{}, fmt.Errorf("sam: %w", err)
+	}
+	opts := m.emOptions()
+	if init != nil {
+		if init.Dom.D != m.dom.D {
+			return nil, em.Stats{}, fmt.Errorf("sam: warm-start histogram d=%d, mechanism d=%d", init.Dom.D, m.dom.D)
+		}
+		opts.Init = init.Mass
+	}
+	est, stats, err := em.EstimateWithStats(m.linear, agg.Planes[0], opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	h, err := grid.HistFromMass(m.dom, est)
+	return h, stats, err
 }
 
 // EstimateHist runs the full report lifecycle in-process: accumulate

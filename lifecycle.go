@@ -3,7 +3,9 @@ package dpspatial
 import (
 	"fmt"
 
+	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
+	"dpspatial/internal/grid"
 )
 
 // This file surfaces the three-stage report lifecycle — client,
@@ -70,6 +72,30 @@ func EstimateFromAggregate(m Mechanism, agg *Aggregate) (*Histogram, error) {
 		return nil, err
 	}
 	return rm.EstimateFromAggregate(agg)
+}
+
+// EstimateStats reports how an EM decode terminated: the number of
+// iterations executed, the final L1 change, and whether the tolerance
+// was reached. Incremental pipelines monitor Iterations to see the
+// warm-start saving.
+type EstimateStats = em.Stats
+
+// EstimateFromAggregateWarm decodes an accumulated aggregate starting EM
+// from a previous estimate instead of from scratch — the incremental
+// path for streaming pipelines that re-estimate as shards keep merging.
+// A nil init is a cold start. Warm-starting from the estimate of the
+// pre-merge aggregate converges in measurably fewer iterations than a
+// cold start while reaching the same fixed point. Supported by the
+// DAM-family mechanisms.
+func EstimateFromAggregateWarm(m Mechanism, agg *Aggregate, init *Histogram) (*Histogram, EstimateStats, error) {
+	type warmStarter interface {
+		EstimateFromAggregateWarm(agg *fo.Aggregate, init *grid.Hist2D) (*grid.Hist2D, em.Stats, error)
+	}
+	ws, ok := m.(warmStarter)
+	if !ok {
+		return nil, EstimateStats{}, fmt.Errorf("dpspatial: %T does not support warm-started estimation", m)
+	}
+	return ws.EstimateFromAggregateWarm(agg, init)
 }
 
 // AccumulateHist reports every user of a true count histogram through

@@ -254,3 +254,68 @@ func TestCalibrateSEMGeoIMemoized(t *testing.T) {
 		t.Fatalf("memoized calibration differs: %v vs %v", first, second)
 	}
 }
+
+// TestEstimateFromAggregateWarmPublic exercises the public incremental
+// path: estimate a first shard, merge a second, and re-estimate from the
+// previous estimate in fewer iterations than from scratch.
+func TestEstimateFromAggregateWarmPublic(t *testing.T) {
+	dom, err := NewDomain(0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDAM(dom, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := &Histogram{Dom: dom, Mass: make([]float64, dom.NumCells())}
+	for i := range truth.Mass {
+		truth.Mass[i] = float64(30 + (i*13)%170)
+	}
+	r := NewRand(7)
+	shard1, err := NewAggregateFor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AccumulateHist(m, shard1, truth, r); err != nil {
+		t.Fatal(err)
+	}
+	est1, stats1, err := EstimateFromAggregateWarm(m, shard1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats1.Converged {
+		t.Fatalf("shard-1 estimate did not converge in %d iterations", stats1.Iterations)
+	}
+	shard2, err := NewAggregateFor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AccumulateHist(m, shard2, truth, r); err != nil {
+		t.Fatal(err)
+	}
+	merged := shard1.Clone()
+	if err := merged.Merge(shard2); err != nil {
+		t.Fatal(err)
+	}
+	_, coldStats, err := EstimateFromAggregateWarm(m, merged, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warmStats, err := EstimateFromAggregateWarm(m, merged, est1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Iterations >= coldStats.Iterations {
+		t.Fatalf("warm start took %d iterations, cold start took %d",
+			warmStats.Iterations, coldStats.Iterations)
+	}
+
+	// Mechanisms without a warm-start estimator must say so.
+	mdswMech, err := NewMDSW(dom, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EstimateFromAggregateWarm(mdswMech, merged, nil); err == nil {
+		t.Fatal("MDSW warm start should be unsupported")
+	}
+}

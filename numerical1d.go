@@ -13,6 +13,16 @@ import (
 // paper's DAM generalises to the plane. Values are bucketised into d
 // equal buckets over [min, max]; the returned slice is the estimated
 // probability per bucket.
+//
+// It runs the same client / aggregator / estimator lifecycle as the 2-D
+// mechanisms: each value becomes one LDP Report accumulated into an
+// Aggregate, which EM then decodes. For sharded collection build the SW
+// reporter yourself via NewSW1D, merge per-shard aggregates, and decode
+// once with Estimate1DFromAggregate; this one-call form (one process,
+// one shard) consumes the historical RNG stream exactly, so the noisy
+// counts are byte-identical across releases (the EM decode itself runs
+// on the structured channel, whose re-associated float sums agree with
+// the historical dense decode to ~1e-9, not bitwise).
 func Estimate1D(values []float64, min, max float64, d int, eps float64, seed uint64) ([]float64, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("dpspatial: no values")
@@ -20,15 +30,12 @@ func Estimate1D(values []float64, min, max float64, d int, eps float64, seed uin
 	if max <= min {
 		return nil, fmt.Errorf("dpspatial: invalid range [%v, %v]", min, max)
 	}
-	if d < 1 {
-		return nil, fmt.Errorf("dpspatial: invalid bucket count %d", d)
-	}
-	sw, err := mdsw.NewSW(d, eps)
+	sw, err := NewSW1D(d, eps)
 	if err != nil {
 		return nil, err
 	}
 	r := NewRand(seed)
-	counts := make([]float64, sw.NumOutputs())
+	agg := sw.NewAggregate()
 	width := (max - min) / float64(d)
 	for _, v := range values {
 		bucket := int((v - min) / width)
@@ -38,9 +45,33 @@ func Estimate1D(values []float64, min, max float64, d int, eps float64, seed uin
 		if bucket >= d {
 			bucket = d - 1
 		}
-		counts[sw.Perturb(bucket, r)]++
+		rep, err := sw.Report(bucket, r)
+		if err != nil {
+			return nil, err
+		}
+		if err := agg.Add(rep); err != nil {
+			return nil, err
+		}
 	}
-	return sw.Estimate(counts)
+	return sw.EstimateFromAggregate(agg)
+}
+
+// NewSW1D builds the 1-D Square Wave reporter/estimator over d buckets
+// with budget eps — the lifecycle-capable building block behind
+// Estimate1D. Its Report/NewAggregate/EstimateFromAggregate stages can
+// run in separate processes, exactly like the 2-D mechanisms'.
+func NewSW1D(d int, eps float64) (*mdsw.SW, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("dpspatial: invalid bucket count %d", d)
+	}
+	return mdsw.NewSW(d, eps)
+}
+
+// Estimate1DFromAggregate decodes an accumulated (possibly merged) 1-D
+// aggregate with the Square Wave EMS estimator — the estimator stage of
+// the 1-D lifecycle.
+func Estimate1DFromAggregate(sw *mdsw.SW, agg *Aggregate) ([]float64, error) {
+	return sw.EstimateFromAggregate(agg)
 }
 
 // Wasserstein1D returns Wₚᵖ between two discrete 1-D distributions given

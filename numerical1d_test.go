@@ -85,3 +85,58 @@ func TestWasserstein1DBasics(t *testing.T) {
 		t.Fatal("length mismatch accepted")
 	}
 }
+
+// TestEstimate1DLifecycleShardsMatchOneCall: splitting the same report
+// stream across two aggregation shards and merging must reproduce the
+// one-call Estimate1D result exactly — the 1-D building block now runs
+// the same client / aggregator / estimator lifecycle as the 2-D
+// mechanisms.
+func TestEstimate1DLifecycleShardsMatchOneCall(t *testing.T) {
+	r := NewRand(5)
+	values := make([]float64, 20000)
+	for i := range values {
+		values[i] = 3 + r.NormFloat64()
+	}
+	const d, eps, seed = 8, 2.0, 9
+	want, err := Estimate1D(values, 0, 6, d, eps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := NewSW1D(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRand(seed)
+	shards := []*Aggregate{sw.NewAggregate(), sw.NewAggregate()}
+	width := 6.0 / d
+	for i, v := range values {
+		bucket := int(v / width)
+		if bucket < 0 {
+			bucket = 0
+		}
+		if bucket >= d {
+			bucket = d - 1
+		}
+		rep, err := sw.Report(bucket, rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shards[i%2].Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := shards[0].Clone()
+	if err := merged.Merge(shards[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Estimate1DFromAggregate(sw, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: sharded %v, one-call %v", i, got[i], want[i])
+		}
+	}
+}
