@@ -11,9 +11,13 @@
 package dpspatial_test
 
 import (
+	"context"
+	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"dpspatial"
+	"dpspatial/internal/collector"
 	"dpspatial/internal/em"
 	"dpspatial/internal/experiments"
 	"dpspatial/internal/lp"
@@ -21,6 +25,17 @@ import (
 	"dpspatial/internal/sam"
 	"dpspatial/internal/transport"
 )
+
+// BenchmarkRunnerInfo embeds the runner's parallelism in every benchmark
+// record as custom metrics, so 1-core and multi-core BENCH_*.json runs
+// are distinguishable at a glance (BENCH_pr1..3 were all recorded at
+// GOMAXPROCS=1, leaving the parallel paths unmeasured).
+func BenchmarkRunnerInfo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
+}
 
 // benchConfig keeps figure benches in the seconds range; the series
 // shapes already emerge at this scale.
@@ -518,6 +533,58 @@ func BenchmarkCollectParallel(b *testing.B) {
 		if _, err := m.CollectParallel(truth, uint64(i), 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCollectorPipeline measures the networked report lifecycle:
+// two pre-encoded DPA2 shard blobs POSTed to a fresh in-process
+// collector over HTTP loopback, then the merged estimate fetched back
+// (cold EM decode included) — the per-epoch cost of `damctl serve`.
+func BenchmarkCollectorPipeline(b *testing.B) {
+	dom := benchDomain(b, 10)
+	m, err := dpspatial.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := dpspatial.AsReporting(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := dpspatial.HistFromPoints(dom, nil)
+	r := rng.New(9)
+	for i := 0; i < 20000; i++ {
+		truth.Mass[r.Intn(len(truth.Mass))]++
+	}
+	blobs := make([][]byte, 2)
+	rr := dpspatial.NewRand(10)
+	for s := range blobs {
+		shard := rm.NewAggregate()
+		if err := dpspatial.AccumulateHist(m, shard, truth, rr); err != nil {
+			b.Fatal(err)
+		}
+		if blobs[s], err = shard.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := collector.New(collector.Config{Mechanism: rm})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(c)
+		client := dpspatial.NewCollectorClient(srv.URL)
+		for _, blob := range blobs {
+			if _, err := client.SubmitAggregateBlob(ctx, blob, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := client.Estimate(ctx); err != nil {
+			b.Fatal(err)
+		}
+		srv.Close()
 	}
 }
 

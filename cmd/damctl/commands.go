@@ -203,6 +203,7 @@ func cmdEstimate(args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV with x,y columns")
 	fromAgg := fs.String("from-aggregate", "", "decode a merged aggregate file instead of collecting from CSV points")
+	fromURL := fs.String("from-url", "", "fetch the current estimate from a collector service (base URL)")
 	d := fs.Int("d", 15, "grid side length")
 	eps := fs.Float64("eps", 3.5, "privacy budget")
 	mech := fs.String("mech", "DAM", "mechanism: "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
@@ -215,6 +216,8 @@ func cmdEstimate(args []string) error {
 	var est *dpspatial.Histogram
 	var err error
 	switch {
+	case *fromURL != "":
+		est, err = estimateFromURL(*fromURL)
 	case *fromAgg != "":
 		est, err = estimateFromAggregateFile(*fromAgg)
 	case *in != "":
@@ -227,7 +230,7 @@ func cmdEstimate(args []string) error {
 			dpspatial.WithMechanism(*mech), dpspatial.WithSeed(*seed),
 			dpspatial.WithWorkers(*workers))
 	default:
-		return fmt.Errorf("missing --in or --from-aggregate")
+		return fmt.Errorf("missing --in, --from-aggregate or --from-url")
 	}
 	if err != nil {
 		return err

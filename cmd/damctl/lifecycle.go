@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"dpspatial"
+	"dpspatial/internal/collector"
 )
 
 // The report / aggregate / estimate subcommands drive the three-stage
@@ -17,48 +18,26 @@ import (
 // fleet (one LDP report per user), `aggregate` plays any number of
 // aggregation shards (pure counting — it never rebuilds the mechanism),
 // and `estimate --from-aggregate` plays the estimation service. File
-// formats are line-oriented JSON so shards can stream over pipes.
+// formats are line-oriented JSON so shards can stream over pipes; the
+// same framing is the HTTP collector's wire format (see serve.go), so
+// the metadata types live in internal/collector.
 
 const (
-	reportsFormat   = "dpspatial-reports/1"
-	aggregateFormat = "dpspatial-aggregate/1"
+	reportsFormat   = collector.ReportsFormat
+	aggregateFormat = collector.AggregateFormat
 )
-
-// pipelineHeader is the metadata line shared by report and aggregate
-// files: everything the downstream stages need to aggregate compatibly
-// and rebuild the estimator.
-type pipelineHeader struct {
-	Format string     `json:"format"`
-	Mech   string     `json:"mech"`
-	D      int        `json:"d"`
-	Eps    float64    `json:"eps"`
-	EpsGeo float64    `json:"epsGeo,omitempty"` // SEM-Geo-I calibrated budget
-	Scheme string     `json:"scheme"`
-	Shape  []int      `json:"shape"`
-	Domain domainJSON `json:"domain"`
-}
-
-type domainJSON struct {
-	MinX float64 `json:"minX"`
-	MinY float64 `json:"minY"`
-	Side float64 `json:"side"`
-}
 
 // aggregateEnvelope is the aggregate file: the pipeline header plus the
 // accumulated counts.
 type aggregateEnvelope struct {
-	pipelineHeader
+	collector.Pipeline
 	Aggregate *dpspatial.Aggregate `json:"aggregate"`
 }
 
-func (h *pipelineHeader) domain() (dpspatial.Domain, error) {
-	return dpspatial.NewDomain(h.Domain.MinX, h.Domain.MinY, h.Domain.Side, h.D)
-}
-
-// mechanism rebuilds the estimator described by the header and verifies
-// it agrees with the recorded report scheme.
-func (h *pipelineHeader) mechanism() (dpspatial.ReportingMechanism, error) {
-	dom, err := h.domain()
+// pipelineMechanism rebuilds the estimator described by the header and
+// verifies it agrees with the recorded report scheme.
+func pipelineMechanism(h *collector.Pipeline) (dpspatial.ReportingMechanism, error) {
+	dom, err := h.GridDomain()
 	if err != nil {
 		return nil, err
 	}
@@ -114,30 +93,12 @@ func cmdReport(args []string) error {
 	}
 	truth := dpspatial.HistFromPoints(dom, pts)
 
-	hdr := pipelineHeader{
-		Format: reportsFormat,
-		Mech:   *mech,
-		D:      *d,
-		Eps:    *eps,
-		Domain: domainJSON{MinX: dom.MinX, MinY: dom.MinY, Side: dom.Side},
-	}
-	if *mech == "SEM-Geo-I" {
-		epsGeo, err := dpspatial.CalibrateSEMGeoI(dom, *eps)
-		if err != nil {
-			return err
-		}
-		hdr.EpsGeo = epsGeo
-	}
-	m, err := dpspatial.NewMechanism(*mech, dom, *eps)
+	hdrPtr, rm, err := dpspatial.NewCollectorPipeline(*mech, dom, *eps)
 	if err != nil {
 		return err
 	}
-	rm, err := dpspatial.AsReporting(m)
-	if err != nil {
-		return err
-	}
-	hdr.Scheme = rm.Scheme()
-	hdr.Shape = rm.ReportShape()
+	hdr := *hdrPtr
+	hdr.Format = reportsFormat
 
 	writers := make([]*bufio.Writer, *shards)
 	if *shards == 1 && *out == "" {
@@ -204,7 +165,7 @@ func cmdAggregate(args []string) error {
 		inputs = []string{"-"} // aggregate a report stream from stdin
 	}
 
-	var hdr *pipelineHeader
+	var hdr *collector.Pipeline
 	var agg *dpspatial.Aggregate
 	for _, path := range inputs {
 		inHdr, inAgg, err := consumeInput(path)
@@ -215,7 +176,7 @@ func cmdAggregate(args []string) error {
 			hdr, agg = inHdr, inAgg
 			continue
 		}
-		if err := checkHeadersCompatible(hdr, inHdr); err != nil {
+		if err := hdr.Compatible(inHdr); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		if err := agg.Merge(inAgg); err != nil {
@@ -223,7 +184,7 @@ func cmdAggregate(args []string) error {
 		}
 	}
 
-	env := aggregateEnvelope{pipelineHeader: *hdr, Aggregate: agg}
+	env := aggregateEnvelope{Pipeline: *hdr, Aggregate: agg}
 	env.Format = aggregateFormat
 	outBytes, err := json.Marshal(&env)
 	if err != nil {
@@ -239,7 +200,7 @@ func cmdAggregate(args []string) error {
 // consumeInput reads one aggregation input — a reports file/stream (each
 // report counted into a fresh aggregate) or an already-aggregated shard
 // (decoded as-is) — and returns its header and aggregate.
-func consumeInput(path string) (*pipelineHeader, *dpspatial.Aggregate, error) {
+func consumeInput(path string) (*collector.Pipeline, *dpspatial.Aggregate, error) {
 	var rd io.Reader
 	if path == "-" {
 		rd = os.Stdin
@@ -265,7 +226,7 @@ func consumeInput(path string) (*pipelineHeader, *dpspatial.Aggregate, error) {
 	}
 	switch probe.Format {
 	case reportsFormat:
-		var hdr pipelineHeader
+		var hdr collector.Pipeline
 		if err := json.Unmarshal(first, &hdr); err != nil {
 			return nil, nil, err
 		}
@@ -299,21 +260,11 @@ func consumeInput(path string) (*pipelineHeader, *dpspatial.Aggregate, error) {
 		if env.Aggregate == nil {
 			return nil, nil, fmt.Errorf("aggregate file has no aggregate")
 		}
-		hdr := env.pipelineHeader
+		hdr := env.Pipeline
 		return &hdr, env.Aggregate, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown format %q", probe.Format)
 	}
-}
-
-func checkHeadersCompatible(a, b *pipelineHeader) error {
-	if a.Scheme != b.Scheme {
-		return fmt.Errorf("scheme %q does not match %q", b.Scheme, a.Scheme)
-	}
-	if a.Mech != b.Mech || a.D != b.D || a.Eps != b.Eps || a.EpsGeo != b.EpsGeo || a.Domain != b.Domain {
-		return fmt.Errorf("pipeline metadata does not match the first input")
-	}
-	return nil
 }
 
 // estimateFromAggregateFile rebuilds the estimator recorded in an
@@ -323,7 +274,7 @@ func estimateFromAggregateFile(path string) (*dpspatial.Histogram, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	rm, err := hdr.mechanism()
+	rm, err := pipelineMechanism(hdr)
 	if err != nil {
 		return nil, err
 	}

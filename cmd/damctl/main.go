@@ -12,6 +12,9 @@
 //	damctl aggregate [--out agg.json] reports.jsonl|shard.json|- ...
 //	damctl estimate --in points.csv --d 15 --eps 3.5 [--mech DAM] [--workers 1]
 //	damctl estimate --from-aggregate agg.json
+//	damctl estimate --from-url http://127.0.0.1:8080
+//	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--mech DAM --d 15 --eps 3.5]
+//	damctl submit --url http://127.0.0.1:8080 rep-000.jsonl shard.json blob.dpa ...
 //	damctl demo                   # before/after ASCII density maps
 package main
 
@@ -42,6 +45,10 @@ func main() {
 		err = cmdAggregate(os.Args[2:])
 	case "estimate":
 		err = cmdEstimate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
 	case "ablate":
 		err = cmdAblate(os.Args[2:])
 	case "demo":
@@ -69,8 +76,12 @@ Commands:
   gen       generate a dataset to CSV (--dataset Crime|NYC|Normal|SZipf|MNormal)
   report    client stage: one LDP report per user (--in file [--shards k])
   aggregate aggregator stage: count reports / merge shards (files or '-')
-  estimate  run the DP pipeline on CSV points (--in file --d 15 --eps 3.5)
-            or decode a merged aggregate (--from-aggregate agg.json)
+  estimate  run the DP pipeline on CSV points (--in file --d 15 --eps 3.5),
+            decode a merged aggregate (--from-aggregate agg.json), or
+            fetch from a collector (--from-url http://host:port)
+  serve     run the HTTP collector daemon (merges shards, re-estimates
+            on --cadence with warm-started EM)
+  submit    ship report/aggregate shard files to a collector (--url)
   ablate    ablation studies (--what shrink|post|baselines|rangequery)
   demo      ASCII before/after density maps on synthetic data
 

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dpspatial"
+	"dpspatial/internal/collector"
+)
+
+// The serve / submit subcommands wrap the report lifecycle in a network
+// service: `serve` runs the long-running HTTP collector daemon
+// (internal/collector) and `submit` ships report or aggregate shard
+// files to it. `estimate --from-url` closes the loop by fetching the
+// merged estimate back.
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cadence := fs.Duration("cadence", 2*time.Second, "background re-estimate cadence (0 = decode only on demand)")
+	mech := fs.String("mech", "", "pre-build this mechanism at startup (default: adopt from the first submission): "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
+	d := fs.Int("d", 15, "grid side length (with --mech)")
+	eps := fs.Float64("eps", 3.5, "privacy budget (with --mech)")
+	minX := fs.Float64("minx", 0, "domain lower-left x (with --mech)")
+	minY := fs.Float64("miny", 0, "domain lower-left y (with --mech)")
+	side := fs.Float64("side", 1, "domain side length (with --mech)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := collector.Config{
+		Cadence: *cadence,
+		// Adopt the mechanism from the first submission's pipeline
+		// metadata (a report stream's header line, or the
+		// X-Dpspatial-Pipeline header on a binary aggregate POST).
+		Build: func(p *collector.Pipeline) (collector.Estimator, error) {
+			return pipelineMechanism(p)
+		},
+	}
+	if *mech != "" {
+		dom, err := dpspatial.NewDomain(*minX, *minY, *side, *d)
+		if err != nil {
+			return err
+		}
+		pipeline, m, err := dpspatial.NewCollectorPipeline(*mech, dom, *eps)
+		if err != nil {
+			return err
+		}
+		cfg.Mechanism = m
+		cfg.Pipeline = pipeline
+	}
+	c, err := collector.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	c.Start()
+	defer c.Close()
+	srv := &http.Server{Handler: c}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("damctl: collector listening on http://%s (cadence %s)\n", ln.Addr(), *cadence)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	url := fs.String("url", "", "collector base URL, e.g. http://127.0.0.1:8080")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("missing --url")
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no shard files to submit")
+	}
+	client := dpspatial.NewCollectorClient(*url)
+	ctx := context.Background()
+	for _, path := range files {
+		resp, err := submitFile(ctx, client, path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: merged %g reports (total %g, generation %d)\n",
+			path, resp.Reports, resp.TotalReports, resp.Generation)
+	}
+	return nil
+}
+
+// submitFile sniffs a shard file's format — a raw DPA1/DPA2 blob, an
+// aggregate envelope, or a reports stream — and ships it accordingly.
+func submitFile(ctx context.Context, client *dpspatial.CollectorClient, path string) (*collector.SubmitResponse, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte("DPA")) {
+		// Binary aggregates carry no pipeline metadata; the collector
+		// must already be locked to a scheme (or adopt from another
+		// submission first).
+		return client.SubmitAggregateBlob(ctx, data, nil)
+	}
+	firstLine := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		firstLine = data[:i]
+	}
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(firstLine, &probe); err != nil {
+		return nil, fmt.Errorf("not a reports, aggregate or DPA shard file: %v", err)
+	}
+	switch probe.Format {
+	case aggregateFormat:
+		var env aggregateEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return nil, err
+		}
+		if env.Aggregate == nil {
+			return nil, fmt.Errorf("aggregate file has no aggregate")
+		}
+		hdr := env.Pipeline
+		return client.SubmitAggregate(ctx, env.Aggregate, &hdr)
+	case reportsFormat:
+		return client.SubmitReportStream(ctx, bytes.NewReader(data))
+	default:
+		return nil, fmt.Errorf("unknown format %q", probe.Format)
+	}
+}
+
+// estimateFromURL fetches the collector's current histogram.
+func estimateFromURL(url string) (*dpspatial.Histogram, error) {
+	est, _, err := dpspatial.NewCollectorClient(url).Estimate(context.Background())
+	return est, err
+}

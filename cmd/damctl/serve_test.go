@@ -1,0 +1,110 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpspatial/internal/collector"
+)
+
+// startTestCollector runs a collector with the CLI's mechanism builder
+// (adopt-from-first-submission) under an httptest server.
+func startTestCollector(t *testing.T) *httptest.Server {
+	t.Helper()
+	c, err := collector.New(collector.Config{
+		Build: func(p *collector.Pipeline) (collector.Estimator, error) {
+			return pipelineMechanism(p)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestSubmitEstimateFromURL drives the networked lifecycle end to end
+// from the CLI: report shards submitted to a collector over HTTP must
+// decode to exactly the estimate the file-based aggregate path produces
+// on the same shards.
+func TestSubmitEstimateFromURL(t *testing.T) {
+	dir := t.TempDir()
+	pts := filepath.Join(dir, "points.csv")
+	capture(t, func() error {
+		return cmdGen([]string{"--dataset", "SZipf", "--scale", "0.002", "--seed", "7", "--out", pts})
+	})
+	prefix := filepath.Join(dir, "rep")
+	capture(t, func() error {
+		return cmdReport([]string{"--in", pts, "--d", "6", "--eps", "1.5",
+			"--seed", "5", "--shards", "2", "--out", prefix})
+	})
+
+	srv := startTestCollector(t)
+	submitOut := capture(t, func() error {
+		return cmdSubmit([]string{"--url", srv.URL, prefix + "-000.jsonl", prefix + "-001.jsonl"})
+	})
+	if !strings.Contains(submitOut, "generation 2") {
+		t.Fatalf("submit did not acknowledge two merged shards:\n%s", submitOut)
+	}
+
+	fromURL := capture(t, func() error {
+		return cmdEstimate([]string{"--from-url", srv.URL})
+	})
+	merged := filepath.Join(dir, "agg.json")
+	capture(t, func() error {
+		return cmdAggregate([]string{"--out", merged, prefix + "-000.jsonl", prefix + "-001.jsonl"})
+	})
+	fromAgg := capture(t, func() error {
+		return cmdEstimate([]string{"--from-aggregate", merged})
+	})
+	if fromURL != fromAgg {
+		t.Fatalf("collector estimate differs from the file-based aggregate estimate\nfrom url:\n%s\nfrom aggregate:\n%s", fromURL, fromAgg)
+	}
+	if !strings.HasPrefix(fromURL, "cell_x,cell_y,probability\n") {
+		t.Fatalf("unexpected estimate output:\n%s", fromURL)
+	}
+}
+
+// TestSubmitMixedShardKinds submits a report shard and a binary
+// aggregate blob of the second shard, and checks the collector's
+// estimate still matches the file-based merge of both.
+func TestSubmitMixedShardKinds(t *testing.T) {
+	dir := t.TempDir()
+	pts := filepath.Join(dir, "points.csv")
+	capture(t, func() error {
+		return cmdGen([]string{"--dataset", "SZipf", "--scale", "0.002", "--seed", "9", "--out", pts})
+	})
+	prefix := filepath.Join(dir, "rep")
+	capture(t, func() error {
+		return cmdReport([]string{"--in", pts, "--d", "5", "--eps", "2",
+			"--seed", "3", "--shards", "2", "--out", prefix})
+	})
+	// Aggregate the second shard into an envelope file first, so submit
+	// exercises both the reports framing and the envelope framing.
+	shard1 := filepath.Join(dir, "shard1.json")
+	capture(t, func() error {
+		return cmdAggregate([]string{"--out", shard1, prefix + "-001.jsonl"})
+	})
+
+	srv := startTestCollector(t)
+	capture(t, func() error {
+		return cmdSubmit([]string{"--url", srv.URL, prefix + "-000.jsonl", shard1})
+	})
+	fromURL := capture(t, func() error {
+		return cmdEstimate([]string{"--from-url", srv.URL})
+	})
+
+	merged := filepath.Join(dir, "agg.json")
+	capture(t, func() error {
+		return cmdAggregate([]string{"--out", merged, prefix + "-000.jsonl", prefix + "-001.jsonl"})
+	})
+	fromAgg := capture(t, func() error {
+		return cmdEstimate([]string{"--from-aggregate", merged})
+	})
+	if fromURL != fromAgg {
+		t.Fatal("mixed report/envelope submission decodes differently from the file merge")
+	}
+}

@@ -1,25 +1,87 @@
 // Taxiflow: private demand estimation for a ride-hailing service (the
-// paper's introduction scenario), run over the distributed report
-// lifecycle the way a production deployment would.
+// paper's introduction scenario), run through a real collector service
+// the way a production deployment would.
 //
 // Drivers' pickup locations are sensitive. Each pickup is randomised on
 // device — one compact LDP Report per driver — and the reports stream to
 // several independent aggregation shards. The shards hold only noisy
-// counts (safe for untrusted infrastructure), merge associatively in any
-// order, and the merged aggregate is decoded once by the estimation
-// service. The example compares DAM, HUEM, DAM-NS and MDSW over the same
-// noisy setting and reports their Wasserstein errors — the smaller, the
-// better the dispatch decisions downstream.
+// counts (safe for untrusted infrastructure) and ship their aggregates
+// over HTTP, in the deterministic DPA2 binary wire format, to a
+// long-running collector daemon (internal/collector) that merges them
+// associatively — in any arrival order — and serves the decoded
+// estimate. The example compares DAM, HUEM, DAM-NS and MDSW over the
+// same noisy setting and reports their Wasserstein errors — the smaller,
+// the better the dispatch decisions downstream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
 	"dpspatial"
+	"dpspatial/internal/collector"
 	"dpspatial/internal/rng"
 	"dpspatial/internal/synth"
 )
+
+// collectRound plays one collection epoch over the service: every driver
+// reports to one of the shards, each shard submits its aggregate to the
+// collector over HTTP, and the estimation service's decode is fetched
+// back. The fetched histogram is byte-identical to decoding the merged
+// shards in process — the collector's first decode is a cold start.
+func collectRound(rm dpspatial.ReportingMechanism, dom dpspatial.Domain,
+	pts []dpspatial.Point, shards int, seed uint64) (*dpspatial.Histogram, *dpspatial.CollectorStats, error) {
+	// One fresh collector per epoch: a long-running daemon would instead
+	// keep merging and let the warm-started cadence refreshes absorb new
+	// shards (see internal/collector and `damctl serve`).
+	coll, err := collector.New(collector.Config{Mechanism: rm})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := httptest.NewServer(coll)
+	defer srv.Close()
+	client := dpspatial.NewCollectorClient(srv.URL)
+	ctx := context.Background()
+
+	// Client stage: every driver encodes one report on device and ships
+	// it to one of the shards (round-robin here; any assignment works —
+	// aggregation is order-independent).
+	aggs := make([]*dpspatial.Aggregate, shards)
+	for s := range aggs {
+		aggs[s] = rm.NewAggregate()
+	}
+	r := dpspatial.NewRand(seed)
+	for u, p := range pts {
+		rep, err := rm.Report(dom.Index(dom.CellOf(p)), r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := aggs[u%shards].Add(rep); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Aggregator stage: each shard ships its noisy counts to the
+	// collector, which merges them associatively — a tree, a chain or
+	// any interleaving of arrivals produces byte-identical state.
+	for _, shard := range aggs {
+		if _, err := client.SubmitAggregate(ctx, shard, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Estimator stage: the collector decodes the merged counts once and
+	// serves the current histogram.
+	est, _, err := client.Estimate(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return est, stats, nil
+}
 
 func main() {
 	const (
@@ -43,7 +105,7 @@ func main() {
 	truth := dpspatial.HistFromPoints(dom, pts)
 	normTruth := truth.Clone().Normalize()
 
-	fmt.Printf("Private taxi-demand estimation: %d pickups, %d×%d grid, eps=%.1f, %d aggregation shards\n\n",
+	fmt.Printf("Private taxi-demand estimation: %d pickups, %d×%d grid, eps=%.1f, %d shards through an HTTP collector\n\n",
 		len(pts), d, d, eps, shards)
 	fmt.Println("True demand:")
 	fmt.Print(normTruth.Render())
@@ -72,35 +134,13 @@ func main() {
 		const rounds = 3
 		total := 0.0
 		for round := uint64(0); round < rounds; round++ {
-			// Client stage: every driver encodes one report on device and
-			// ships it to one of the shards (round-robin here; any
-			// assignment works — aggregation is order-independent).
-			aggs := make([]*dpspatial.Aggregate, shards)
-			for s := range aggs {
-				aggs[s] = rm.NewAggregate()
-			}
-			r := dpspatial.NewRand(100 + round)
-			for u, p := range pts {
-				rep, err := rm.Report(dom.Index(dom.CellOf(p)), r)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := aggs[u%shards].Add(rep); err != nil {
-					log.Fatal(err)
-				}
-			}
-			// Aggregator stage: shards merge pairwise — associative and
-			// commutative, so a tree, a chain or a stream all agree.
-			merged := aggs[0]
-			for _, shard := range aggs[1:] {
-				if err := merged.Merge(shard); err != nil {
-					log.Fatal(err)
-				}
-			}
-			// Estimator stage: decode the merged noisy counts once.
-			est, err := rm.EstimateFromAggregate(merged)
+			est, stats, err := collectRound(rm, dom, pts, shards, 100+round)
 			if err != nil {
 				log.Fatal(err)
+			}
+			if stats.AggregateShards != shards || stats.Reports != float64(len(pts)) {
+				log.Fatalf("collector merged %d shards / %g reports, expected %d / %d",
+					stats.AggregateShards, stats.Reports, shards, len(pts))
 			}
 			w2, err := dpspatial.Wasserstein2Sinkhorn(normTruth, est)
 			if err != nil {

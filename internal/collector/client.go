@@ -1,0 +1,183 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dpspatial/internal/fo"
+	"dpspatial/internal/grid"
+)
+
+// Client talks to a collector service. It speaks the same wire formats
+// the CLI pipeline writes to disk: DPA1/DPA2 binary blobs for aggregate
+// shards and header-plus-NDJSON streams for report shards.
+type Client struct {
+	// BaseURL is the collector root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the collector at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, header http.Header, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// Drain so the keep-alive connection returns to the pool.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("collector: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("collector: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		*raw = b
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", "", nil, nil, nil)
+}
+
+// SubmitAggregate ships one aggregate shard as a DPA2 blob. A non-nil
+// pipeline travels in the X-Dpspatial-Pipeline header so a collector
+// started without a mechanism can adopt one.
+func (c *Client) SubmitAggregate(ctx context.Context, shard *fo.Aggregate, p *Pipeline) (*SubmitResponse, error) {
+	blob, err := shard.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitAggregateBlob(ctx, blob, p)
+}
+
+// SubmitAggregateBlob ships an already-encoded DPA1/DPA2 blob verbatim.
+func (c *Client) SubmitAggregateBlob(ctx context.Context, blob []byte, p *Pipeline) (*SubmitResponse, error) {
+	var header http.Header
+	if p != nil {
+		hdr, err := json.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		header = http.Header{PipelineHeader: []string{string(hdr)}}
+	}
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/aggregate", "application/octet-stream",
+		bytes.NewReader(blob), header, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitReportStream ships a report shard — a stream in the CLI's
+// reports framing (Pipeline header line, then NDJSON reports), or bare
+// report lines if the collector is already locked to a scheme. The whole
+// stream merges as one shard.
+func (c *Client) SubmitReportStream(ctx context.Context, stream io.Reader) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/report", "application/x-ndjson", stream, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitReports encodes reports in the wire framing (with the pipeline
+// header when non-nil) and ships them as one shard.
+func (c *Client) SubmitReports(ctx context.Context, p *Pipeline, reports []fo.Report) (*SubmitResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if p != nil {
+		hdr := *p
+		hdr.Format = ReportsFormat
+		if err := enc.Encode(&hdr); err != nil {
+			return nil, err
+		}
+	}
+	for i := range reports {
+		if err := enc.Encode(&reports[i]); err != nil {
+			return nil, err
+		}
+	}
+	return c.SubmitReportStream(ctx, &buf)
+}
+
+// Estimate fetches the collector's current histogram, which reflects
+// every shard merged so far.
+func (c *Client) Estimate(ctx context.Context) (*grid.Hist2D, *EstimateResponse, error) {
+	var resp EstimateResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/estimate", "", nil, nil, &resp); err != nil {
+		return nil, nil, err
+	}
+	h, err := resp.Histogram()
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, &resp, nil
+}
+
+// FetchAggregate downloads the merged canonical aggregate — the chaining
+// primitive for hierarchical collectors: a downstream collector can
+// submit the blob verbatim to an upstream one.
+func (c *Client) FetchAggregate(ctx context.Context) (*fo.Aggregate, error) {
+	var blob []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/aggregate", "", nil, nil, &blob); err != nil {
+		return nil, err
+	}
+	agg := &fo.Aggregate{}
+	if err := agg.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// Stats fetches the collector's counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var stats Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, nil, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}

@@ -1,0 +1,616 @@
+// Package collector wraps the report lifecycle's aggregator and
+// estimator stages in a long-running HTTP service. Devices (or upstream
+// shards) POST report streams and binary aggregates; the collector
+// merges them associatively under a single canonical aggregate — so the
+// merged state is byte-identical regardless of arrival interleaving —
+// and keeps a current estimate, re-decoding on a configurable merge
+// cadence with warm-started EM so each refresh costs a fraction of a
+// cold decode.
+//
+// The first decode after startup is a cold start, so an estimate fetched
+// after a batch of submissions is byte-identical to calling
+// EstimateFromAggregate on the same merged shards in process. Later
+// refreshes warm-start from the previous generation's estimate and reach
+// the same fixed point within the EM tolerance; /v1/stats reports the
+// iterations saved.
+package collector
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dpspatial/internal/em"
+	"dpspatial/internal/fo"
+	"dpspatial/internal/grid"
+)
+
+// Estimator is the mechanism surface the collector needs: the client
+// layer (to validate compatibility and allocate aggregates) plus the
+// estimator stage. Every ReportingMechanism of the public API satisfies
+// it.
+type Estimator interface {
+	fo.Reporter
+	NewAggregate() *fo.Aggregate
+	EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error)
+}
+
+// WarmEstimator is an Estimator with the incremental decode path.
+// Mechanisms that implement it (the DAM family) get warm-started cadence
+// refreshes; others re-decode cold each time.
+type WarmEstimator interface {
+	Estimator
+	EstimateFromAggregateWarm(agg *fo.Aggregate, init *grid.Hist2D) (*grid.Hist2D, em.Stats, error)
+}
+
+// Config configures a collector.
+type Config struct {
+	// Mechanism, if non-nil, locks the collector to this estimator from
+	// the start.
+	Mechanism Estimator
+	// Pipeline optionally records the metadata of a pre-built Mechanism,
+	// so GET /v1/aggregate can replay it and submissions carrying
+	// pipeline metadata are cross-checked in full — including the
+	// geographic domain, which the report scheme string alone does not
+	// encode. When nil, the first submission whose metadata
+	// cross-checks against the mechanism (scheme and shape) pins it
+	// for the rest of the daemon's life; set Pipeline explicitly to
+	// control the domain rather than trusting the first client.
+	Pipeline *Pipeline
+	// Build, if set and Mechanism is nil, lets the collector adopt its
+	// mechanism from the first submission that carries a Pipeline header
+	// (a report stream's first line, or X-Dpspatial-Pipeline on a binary
+	// aggregate POST). Until then, submissions without a header are
+	// rejected with 409.
+	Build func(p *Pipeline) (Estimator, error)
+	// Cadence is the background refresh period: every Cadence the
+	// collector re-decodes the estimate if new shards arrived (warm-
+	// started when the mechanism supports it). Zero disables the
+	// background loop; GET /v1/estimate still refreshes on demand.
+	Cadence time.Duration
+	// MaxBodyBytes caps accepted request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+const defaultMaxBodyBytes = 64 << 20
+
+// Collector is the HTTP service. It implements http.Handler; run it
+// under any http.Server (or httptest.Server), and call Start/Close
+// around the serving lifetime to run the cadence loop.
+type Collector struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// mu guards the mutable collector state. Submissions hold it only
+	// for the merge itself, never during an EM decode.
+	mu         sync.Mutex
+	mech       Estimator
+	pipeline   *Pipeline
+	agg        *fo.Aggregate
+	generation uint64
+	est        *grid.Hist2D // estimate decoded from estGen (nil until first decode)
+	estGen     uint64
+	estIters   int     // EM iterations of the decode that produced est
+	estWarm    bool    // whether that decode was warm-started
+	estN       float64 // report count of the aggregate est was decoded from
+	stats      Stats
+
+	// decodeMu serialises EM decodes so concurrent GET /v1/estimate
+	// requests do not duplicate work; submissions proceed meanwhile.
+	decodeMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a collector. Either cfg.Mechanism or cfg.Build must be set.
+func New(cfg Config) (*Collector, error) {
+	if cfg.Mechanism == nil && cfg.Build == nil {
+		return nil, fmt.Errorf("collector: config needs a Mechanism or a Build hook")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	c := &Collector{cfg: cfg, stop: make(chan struct{})}
+	if cfg.Mechanism != nil {
+		c.mech = cfg.Mechanism
+		c.pipeline = cfg.Pipeline
+		c.agg = cfg.Mechanism.NewAggregate()
+		c.stats.Scheme = cfg.Mechanism.Scheme()
+	}
+	c.stats.CadenceMillis = cfg.Cadence.Milliseconds()
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/v1/report", c.handleReport)
+	c.mux.HandleFunc("/v1/aggregate", c.handleAggregate)
+	c.mux.HandleFunc("/v1/estimate", c.handleEstimate)
+	c.mux.HandleFunc("/v1/stats", c.handleStats)
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// Start launches the background merge-cadence loop. It is a no-op when
+// the configured cadence is zero.
+func (c *Collector) Start() {
+	if c.cfg.Cadence <= 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.cfg.Cadence)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				// Refresh errors surface on the next GET; the loop only
+				// keeps the estimate warm.
+				_, _ = c.refresh()
+			}
+		}
+	}()
+}
+
+// Close stops the cadence loop. The handler stays usable.
+func (c *Collector) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// resolveMechanism returns the mechanism a submission carrying pipeline
+// metadata p (which may be nil) should validate against — the installed
+// one, or a candidate freshly built from p when the collector is still
+// unlocked. A candidate (adopted=true) is NOT installed here: callers
+// commit it with adoptLocked only after the whole submission validates,
+// so a rejected shard can never lock the collector to its mechanism.
+func (c *Collector) resolveMechanism(p *Pipeline) (mech Estimator, adopted bool, err error) {
+	c.mu.Lock()
+	installed, pipeline := c.mech, c.pipeline
+	c.mu.Unlock()
+	if installed != nil {
+		if p != nil && p.Scheme != "" && p.Scheme != installed.Scheme() {
+			return nil, false, fmt.Errorf("submission scheme %q does not match collector scheme %q", p.Scheme, installed.Scheme())
+		}
+		if p != nil && pipeline != nil {
+			if err := pipeline.Compatible(p); err != nil {
+				return nil, false, err
+			}
+		}
+		return installed, false, nil
+	}
+	if p == nil {
+		return nil, false, fmt.Errorf("collector has no mechanism yet; submit a shard with pipeline metadata first")
+	}
+	candidate, err := c.cfg.Build(p)
+	if err != nil {
+		return nil, false, fmt.Errorf("building mechanism from pipeline: %w", err)
+	}
+	if p.Scheme != "" && candidate.Scheme() != p.Scheme {
+		return nil, false, fmt.Errorf("rebuilt mechanism scheme %q does not match submitted scheme %q", candidate.Scheme(), p.Scheme)
+	}
+	return candidate, true, nil
+}
+
+// adoptLocked installs a validated candidate mechanism — unless a
+// concurrent submission already installed one, in which case the
+// candidate must agree on the scheme. Callers hold mu.
+func (c *Collector) adoptLocked(mech Estimator, p *Pipeline) error {
+	if c.mech != nil {
+		if c.mech.Scheme() != mech.Scheme() {
+			return fmt.Errorf("submission scheme %q does not match collector scheme %q", mech.Scheme(), c.mech.Scheme())
+		}
+		return nil
+	}
+	pin := *p
+	c.mech = mech
+	c.pipeline = &pin
+	c.agg = mech.NewAggregate()
+	c.stats.Scheme = mech.Scheme()
+	return nil
+}
+
+// checkAndPinPipelineLocked validates a submission's pipeline metadata
+// at commit time — under mu, because the resolveMechanism snapshot may
+// be stale by the time the body has been processed — and records the
+// first cross-checkable metadata when the collector was constructed
+// with a bare Mechanism and no Pipeline. The report scheme alone does
+// not encode the geographic domain, so without the pin a same-scheme
+// shard collected over a different region would merge silently; once
+// pinned, Pipeline.Compatible refuses it, including for concurrent
+// first submissions racing each other. A header only becomes the pin if
+// its scheme and (when present) shape agree with the installed
+// mechanism, so one misconfigured client cannot poison the pin and
+// lock every later correct submission out. Callers hold mu; c.mech is
+// installed.
+func (c *Collector) checkAndPinPipelineLocked(p *Pipeline) error {
+	if p == nil {
+		return nil
+	}
+	if p.Scheme != "" && p.Scheme != c.mech.Scheme() {
+		return fmt.Errorf("submission scheme %q does not match collector scheme %q", p.Scheme, c.mech.Scheme())
+	}
+	if c.pipeline != nil {
+		return c.pipeline.Compatible(p)
+	}
+	if p.Shape != nil {
+		shape := c.mech.ReportShape()
+		if len(p.Shape) != len(shape) {
+			return fmt.Errorf("submission declares %d report planes, mechanism has %d", len(p.Shape), len(shape))
+		}
+		for i, n := range shape {
+			if p.Shape[i] != n {
+				return fmt.Errorf("submission plane %d has %d counts, mechanism expects %d", i, p.Shape[i], n)
+			}
+		}
+	}
+	if p.Scheme == "" || p.Mech == "" || p.D <= 0 || p.Domain.Side <= 0 {
+		// Partial metadata cannot be cross-checked (and would lock out
+		// fully-specified clients if pinned): merge but never pin it.
+		return nil
+	}
+	pin := *p
+	c.pipeline = &pin
+	return nil
+}
+
+// commitShard runs the locked commit of a fully parsed and validated
+// submission: install an adopted candidate mechanism, validate and pin
+// the pipeline metadata, merge the shard, and count it. Both submission
+// handlers share it so the adoption transaction cannot diverge between
+// the report and aggregate paths.
+func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimator, adopted bool, count func(*Stats)) (SubmitResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if adopted {
+		if err := c.adoptLocked(mech, hdr); err != nil {
+			return SubmitResponse{}, err
+		}
+	}
+	if err := c.checkAndPinPipelineLocked(hdr); err != nil {
+		return SubmitResponse{}, err
+	}
+	resp, err := c.mergeLocked(shard)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	count(&c.stats)
+	return resp, nil
+}
+
+// mergeLocked folds one submitted shard into the canonical aggregate.
+// Callers hold mu. Merging under the lock keeps each submission atomic,
+// and since Merge is associative and commutative over exactly
+// representable counts, the merged aggregate is byte-identical for every
+// arrival interleaving.
+func (c *Collector) mergeLocked(shard *fo.Aggregate) (SubmitResponse, error) {
+	if err := shard.Compatible(c.mech); err != nil {
+		return SubmitResponse{}, err
+	}
+	if err := c.agg.Merge(shard); err != nil {
+		return SubmitResponse{}, err
+	}
+	c.generation++
+	c.stats.Generation = c.generation
+	c.stats.Reports = c.agg.N
+	return SubmitResponse{
+		Scheme:       c.mech.Scheme(),
+		Reports:      shard.N,
+		TotalReports: c.agg.N,
+		Generation:   c.generation,
+	}, nil
+}
+
+// estimateState is one decoded estimate plus the metadata of the decode
+// that produced it.
+type estimateState struct {
+	est   *grid.Hist2D
+	gen   uint64
+	n     float64
+	iters int
+	warm  bool
+}
+
+// refresh brings the estimate up to the current generation, decoding at
+// most once. The first decode is cold (EstimateFromAggregate semantics);
+// later decodes warm-start from the previous estimate when the mechanism
+// supports it. It returns the current estimate and the generation it was
+// decoded from.
+func (c *Collector) refresh() (estimateState, error) {
+	c.decodeMu.Lock()
+	defer c.decodeMu.Unlock()
+
+	c.mu.Lock()
+	if c.mech == nil {
+		c.mu.Unlock()
+		return estimateState{}, fmt.Errorf("collector has no mechanism yet")
+	}
+	if c.agg.N == 0 {
+		c.mu.Unlock()
+		return estimateState{}, fmt.Errorf("no reports merged yet")
+	}
+	if c.est != nil && c.estGen == c.generation {
+		cur := estimateState{est: c.est, gen: c.estGen, n: c.estN, iters: c.estIters, warm: c.estWarm}
+		c.mu.Unlock()
+		return cur, nil
+	}
+	// Snapshot under the lock, decode outside it: submissions keep
+	// flowing while EM runs; decodeMu guarantees a single decoder.
+	snapshot := c.agg.Clone()
+	snapGen := c.generation
+	init := c.est
+	mech := c.mech
+	c.mu.Unlock()
+
+	var est *grid.Hist2D
+	var iters int
+	warm := false
+	if ws, ok := mech.(WarmEstimator); ok {
+		e, stats, err := ws.EstimateFromAggregateWarm(snapshot, init)
+		if err != nil {
+			return estimateState{}, err
+		}
+		est, iters, warm = e, stats.Iterations, init != nil
+	} else {
+		e, err := mech.EstimateFromAggregate(snapshot)
+		if err != nil {
+			return estimateState{}, err
+		}
+		est = e
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.est, c.estGen, c.estN = est, snapGen, snapshot.N
+	c.estIters, c.estWarm = iters, warm
+	c.stats.Estimates++
+	c.stats.EstimateGeneration = snapGen
+	c.stats.LastIterations = iters
+	if warm {
+		c.stats.WarmEstimates++
+		if saved := c.stats.ColdBaselineIterations - iters; saved > 0 {
+			c.stats.IterationsSaved += uint64(saved)
+		}
+	} else if c.stats.ColdBaselineIterations == 0 {
+		c.stats.ColdBaselineIterations = iters
+	}
+	return estimateState{est: est, gen: snapGen, n: snapshot.N, iters: iters, warm: warm}, nil
+}
+
+// --- HTTP handlers ---
+
+func (c *Collector) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	c.mu.Lock()
+	scheme := ""
+	if c.mech != nil {
+		scheme = c.mech.Scheme()
+	}
+	gen := c.generation
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "scheme": scheme, "generation": gen,
+	})
+}
+
+// handleReport accepts a report stream: the cmd/damctl reports framing
+// (a Pipeline header line, then one JSON report per line), or bare
+// report lines when the collector is already locked to a scheme. The
+// whole stream counts as one shard and merges atomically.
+func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes), 1<<20)
+	first, err := br.ReadBytes('\n')
+	if err != nil && len(first) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty report stream"))
+		return
+	}
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(first, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("first line is neither a pipeline header nor a report: %v", err))
+		return
+	}
+
+	var hdr *Pipeline
+	var firstReport *fo.Report
+	switch probe.Format {
+	case ReportsFormat:
+		hdr = &Pipeline{}
+		if err := json.Unmarshal(first, hdr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad pipeline header: %v", err))
+			return
+		}
+	case "":
+		var rep fo.Report
+		if err := json.Unmarshal(first, &rep); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad report line: %v", err))
+			return
+		}
+		firstReport = &rep
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", probe.Format))
+		return
+	}
+
+	// Resolve the mechanism (building a not-yet-installed candidate on
+	// first contact), then count the stream into a shard aggregate
+	// outside the lock so report counting never blocks other shards.
+	// Adoption commits only after the whole stream parses.
+	mech, adopted, err := c.resolveMechanism(hdr)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+
+	shard := mech.NewAggregate()
+	if firstReport != nil {
+		if err := shard.Add(*firstReport); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	dec := json.NewDecoder(br)
+	for {
+		var rep fo.Report
+		if err := dec.Decode(&rep); err == io.EOF {
+			break
+		} else if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad report line: %v", err))
+			return
+		}
+		if err := shard.Add(rep); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	resp, err := c.commitShard(shard, hdr, mech, adopted, func(s *Stats) { s.ReportShards++ })
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// handleAggregate accepts a serialized aggregate shard (POST, DPA1/DPA2
+// blob) or serves the merged canonical aggregate (GET, DPA2 blob).
+func (c *Collector) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+	case http.MethodGet:
+		c.serveAggregate(w)
+		return
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST only"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+		return
+	}
+	shard := &fo.Aggregate{}
+	if err := shard.UnmarshalBinary(body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var hdr *Pipeline
+	if raw := r.Header.Get(PipelineHeader); raw != "" {
+		hdr = &Pipeline{}
+		if err := json.Unmarshal([]byte(raw), hdr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s header: %v", PipelineHeader, err))
+			return
+		}
+	}
+	mech, adopted, err := c.resolveMechanism(hdr)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	// Validate the shard against the resolved mechanism BEFORE any
+	// adoption commits: a bad blob must not lock the collector.
+	if err := shard.Compatible(mech); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	resp, err := c.commitShard(shard, hdr, mech, adopted, func(s *Stats) { s.AggregateShards++ })
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (c *Collector) serveAggregate(w http.ResponseWriter) {
+	c.mu.Lock()
+	if c.mech == nil {
+		c.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("collector has no mechanism yet"))
+		return
+	}
+	blob, err := c.agg.MarshalBinary()
+	var hdr []byte
+	if c.pipeline != nil {
+		hdr, _ = json.Marshal(c.pipeline)
+	}
+	c.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if hdr != nil {
+		w.Header().Set(PipelineHeader, string(hdr))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
+}
+
+// handleEstimate serves the current histogram, refreshing first if new
+// shards arrived since the last decode — so the response always reflects
+// every merged submission.
+func (c *Collector) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	cur, err := c.refresh()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	est := cur.est
+	c.mu.Lock()
+	resp := EstimateResponse{
+		Scheme:     c.mech.Scheme(),
+		Generation: cur.gen,
+		Reports:    cur.n,
+		D:          est.Dom.D,
+		Domain:     DomainSpec{MinX: est.Dom.MinX, MinY: est.Dom.MinY, Side: est.Dom.Side},
+		Mass:       est.Mass,
+		Iterations: cur.iters,
+		Warm:       cur.warm,
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	c.mu.Lock()
+	stats := c.stats
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, &stats)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, &errorResponse{Error: err.Error()})
+}

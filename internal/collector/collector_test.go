@@ -1,0 +1,480 @@
+package collector_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpspatial/internal/collector"
+	"dpspatial/internal/fo"
+	"dpspatial/internal/grid"
+	"dpspatial/internal/rng"
+	"dpspatial/internal/sam"
+)
+
+func newDAM(t *testing.T, d int, eps float64) *sam.Mechanism {
+	t.Helper()
+	dom, err := grid.NewDomain(0, 0, 1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sam.NewDAM(dom, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// startServer runs a collector pre-built around mech under an httptest
+// server and returns a client for it.
+func startServer(t *testing.T, mech collector.Estimator, cadence time.Duration) (*collector.Client, *collector.Collector) {
+	t.Helper()
+	c, err := collector.New(collector.Config{Mechanism: mech, Cadence: cadence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	srv := httptest.NewServer(c)
+	t.Cleanup(func() { srv.Close(); c.Close() })
+	return collector.NewClient(srv.URL), c
+}
+
+// accumulateShards streams n reports per cell of a synthetic truth
+// histogram through the mechanism's client layer, round-robin over the
+// requested number of shard aggregates, on a single RNG stream.
+func accumulateShards(t *testing.T, mech *sam.Mechanism, shards int, seed uint64) []*fo.Aggregate {
+	t.Helper()
+	out := make([]*fo.Aggregate, shards)
+	for s := range out {
+		out[s] = mech.NewAggregate()
+	}
+	r := rng.New(seed)
+	user := 0
+	for i := 0; i < mech.NumInputs(); i++ {
+		for k := 0; k < 5+(i*7)%23; k++ {
+			rep, err := mech.Report(i, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := out[user%shards].Add(rep); err != nil {
+				t.Fatal(err)
+			}
+			user++
+		}
+	}
+	return out
+}
+
+// mustJSONLine renders a pipeline as a reports-stream header line.
+func mustJSONLine(t *testing.T, p *collector.Pipeline) string {
+	t.Helper()
+	hdr := *p
+	hdr.Format = collector.ReportsFormat
+	b, err := json.Marshal(&hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+func mergeAll(t *testing.T, mech *sam.Mechanism, shards []*fo.Aggregate) *fo.Aggregate {
+	t.Helper()
+	merged := mech.NewAggregate()
+	for _, s := range shards {
+		if err := merged.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return merged
+}
+
+// TestEstimateMatchesInProcessByteIdentical is the acceptance check:
+// shards submitted over HTTP decode to exactly the histogram
+// EstimateFromAggregate produces on the same shards in process. The
+// collector's first decode is a cold start, so this holds bit-for-bit.
+func TestEstimateMatchesInProcessByteIdentical(t *testing.T) {
+	mech := newDAM(t, 6, 1.5)
+	shards := accumulateShards(t, mech, 2, 11)
+	want, err := mech.EstimateFromAggregate(mergeAll(t, mech, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, _ := startServer(t, mech, 0)
+	ctx := context.Background()
+	for i, s := range shards {
+		resp, err := client.SubmitAggregate(ctx, s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Generation != uint64(i+1) {
+			t.Fatalf("submission %d acknowledged generation %d", i, resp.Generation)
+		}
+	}
+	got, meta, err := client.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Warm {
+		t.Fatal("first decode should be a cold start")
+	}
+	if got.Dom != want.Dom {
+		t.Fatalf("domain mismatch: %+v vs %+v", got.Dom, want.Dom)
+	}
+	if !reflect.DeepEqual(got.Mass, want.Mass) {
+		t.Fatal("HTTP estimate is not byte-identical to the in-process EstimateFromAggregate")
+	}
+}
+
+// TestConcurrentAggregateMergesByteIdentity submits shards from
+// concurrent goroutines and checks the merged canonical aggregate is
+// byte-identical to a serial merge, regardless of arrival interleaving.
+func TestConcurrentAggregateMergesByteIdentity(t *testing.T) {
+	mech := newDAM(t, 5, 2.0)
+	shards := accumulateShards(t, mech, 8, 23)
+	wantBlob, err := mergeAll(t, mech, shards).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		client, _ := startServer(t, newDAM(t, 5, 2.0), 0)
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		errs := make(chan error, len(shards))
+		for i := range shards {
+			wg.Add(1)
+			go func(shard *fo.Aggregate) {
+				defer wg.Done()
+				if _, err := client.SubmitAggregate(ctx, shard, nil); err != nil {
+					errs <- err
+				}
+			}(shards[(i+trial*3)%len(shards)])
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		merged, err := client.FetchAggregate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBlob, err := merged.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBlob, wantBlob) {
+			t.Fatalf("trial %d: concurrently merged aggregate differs from the serial merge", trial)
+		}
+	}
+}
+
+// TestMixedVersionSubmissions merges a legacy DPA1 blob with a DPA2 blob
+// and checks the result matches an all-DPA2 merge.
+func TestMixedVersionSubmissions(t *testing.T) {
+	mech := newDAM(t, 5, 1.2)
+	shards := accumulateShards(t, mech, 2, 31)
+	want := mergeAll(t, mech, shards)
+
+	client, _ := startServer(t, mech, 0)
+	ctx := context.Background()
+	v1, err := shards[0].MarshalBinaryV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1[:4]) != "DPA1" {
+		t.Fatalf("legacy blob has magic %q", v1[:4])
+	}
+	if _, err := client.SubmitAggregateBlob(ctx, v1, nil); err != nil {
+		t.Fatalf("DPA1 submission rejected: %v", err)
+	}
+	if _, err := client.SubmitAggregate(ctx, shards[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := client.FetchAggregate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatal("mixed DPA1/DPA2 merge differs from the all-DPA2 merge")
+	}
+}
+
+// TestWarmRestartStats checks that the second decode warm-starts from
+// the first estimate and that /v1/stats surfaces the iteration saving.
+func TestWarmRestartStats(t *testing.T) {
+	mech := newDAM(t, 4, 3.5)
+	shards := accumulateShards(t, mech, 2, 7)
+
+	client, _ := startServer(t, mech, 0)
+	ctx := context.Background()
+	if _, err := client.SubmitAggregate(ctx, shards[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	_, meta1, err := client.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta1.Warm {
+		t.Fatal("first decode should be cold")
+	}
+	if _, err := client.SubmitAggregate(ctx, shards[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	_, meta2, err := client.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta2.Warm {
+		t.Fatal("post-merge decode should warm-start from the previous estimate")
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Estimates != 2 || stats.WarmEstimates != 1 {
+		t.Fatalf("stats counted %d decodes / %d warm", stats.Estimates, stats.WarmEstimates)
+	}
+	if stats.ColdBaselineIterations == 0 {
+		t.Fatal("cold baseline iterations not recorded")
+	}
+	if meta2.Iterations >= stats.ColdBaselineIterations {
+		t.Fatalf("warm decode took %d iterations, cold baseline %d",
+			meta2.Iterations, stats.ColdBaselineIterations)
+	}
+	if stats.IterationsSaved == 0 {
+		t.Fatal("warm restart saved no iterations according to /v1/stats")
+	}
+	if stats.EstimateGeneration != 2 || stats.Generation != 2 {
+		t.Fatalf("stats generations: estimate %d, aggregate %d", stats.EstimateGeneration, stats.Generation)
+	}
+}
+
+// TestAdoptMechanismFromReportStream starts a collector with only a
+// Build hook and checks it adopts the mechanism from the first report
+// shard's pipeline header, rejects mismatched later submissions, and
+// then estimates exactly like the in-process lifecycle.
+func TestAdoptMechanismFromReportStream(t *testing.T) {
+	c, err := collector.New(collector.Config{
+		Build: func(p *collector.Pipeline) (collector.Estimator, error) {
+			dom, err := p.GridDomain()
+			if err != nil {
+				return nil, err
+			}
+			if p.Mech != "DAM" {
+				return nil, fmt.Errorf("test builder only builds DAM, not %q", p.Mech)
+			}
+			return sam.NewDAM(dom, p.Eps)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+	client := collector.NewClient(srv.URL)
+	ctx := context.Background()
+
+	mech := newDAM(t, 5, 1.5)
+	pipeline := &collector.Pipeline{
+		Mech: "DAM", D: 5, Eps: 1.5,
+		Scheme: mech.Scheme(), Shape: mech.ReportShape(),
+		Domain: collector.DomainSpec{MinX: 0, MinY: 0, Side: 1},
+	}
+
+	// Binary aggregates carry no pipeline metadata, so before adoption
+	// they must be rejected.
+	shards := accumulateShards(t, mech, 2, 3)
+	if _, err := client.SubmitAggregate(ctx, shards[0], nil); err == nil {
+		t.Fatal("headerless submission before adoption should fail")
+	}
+
+	// A rejected submission must not lock the collector: a valid header
+	// paired with a blob of a different scheme builds the candidate
+	// mechanism but the shard fails validation — adoption must roll
+	// back, not pin the collector to the candidate.
+	foreign := newDAM(t, 6, 2.0)
+	if _, err := client.SubmitAggregate(ctx, foreign.NewAggregate(), pipeline); err == nil {
+		t.Fatal("mismatched blob should be rejected")
+	}
+	// Likewise a well-formed header followed by a garbage report line.
+	garbage := strings.NewReader(mustJSONLine(t, pipeline) + "not json\n")
+	if _, err := client.SubmitReportStream(ctx, garbage); err == nil {
+		t.Fatal("malformed report stream should be rejected")
+	}
+	if stats, err := client.Stats(ctx); err != nil || stats.Scheme != "" {
+		t.Fatalf("rejected submissions locked the collector (scheme %q, err %v)", stats.Scheme, err)
+	}
+
+	// A report stream with a header adopts the mechanism.
+	var reports []fo.Report
+	r := rng.New(99)
+	for i := 0; i < mech.NumInputs(); i++ {
+		rep, err := mech.Report(i, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	resp, err := client.SubmitReports(ctx, pipeline, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scheme != mech.Scheme() || resp.Reports != float64(len(reports)) {
+		t.Fatalf("unexpected ack: %+v", resp)
+	}
+
+	// Mismatched pipelines are refused once locked.
+	other := *pipeline
+	other.Eps = 2.5
+	other.Scheme = "sam/DAM d=5 eps=2.5 bhat=1"
+	if _, err := client.SubmitReports(ctx, &other, reports[:1]); err == nil {
+		t.Fatal("mismatched scheme should be refused after adoption")
+	}
+
+	// The adopted estimator decodes exactly like the in-process one.
+	inproc := mech.NewAggregate()
+	for _, rep := range reports {
+		if err := inproc.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := mech.EstimateFromAggregate(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := client.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Mass, want.Mass) {
+		t.Fatal("adopted collector's estimate differs from the in-process decode")
+	}
+}
+
+// TestPipelinePinRefusesForeignDomain checks that a collector built
+// with a bare mechanism (no Config.Pipeline) pins the first submitted
+// pipeline metadata, so a same-scheme shard collected over a different
+// geographic domain — which the scheme string alone cannot detect — is
+// refused instead of merging silently.
+func TestPipelinePinRefusesForeignDomain(t *testing.T) {
+	mech := newDAM(t, 5, 1.5)
+	client, _ := startServer(t, mech, 0)
+	ctx := context.Background()
+	shards := accumulateShards(t, mech, 3, 41)
+
+	pipeline := &collector.Pipeline{
+		Mech: "DAM", D: 5, Eps: 1.5,
+		Scheme: mech.Scheme(), Shape: mech.ReportShape(),
+		Domain: collector.DomainSpec{MinX: 0, MinY: 0, Side: 1},
+	}
+
+	// A header whose shape disagrees with the mechanism must not merge
+	// or become the pin — a misconfigured client could otherwise lock
+	// every later correct submission out.
+	poisoned := *pipeline
+	poisoned.Shape = []int{7}
+	if _, err := client.SubmitAggregate(ctx, shards[2], &poisoned); err == nil {
+		t.Fatal("shape-mismatched header should be refused")
+	}
+	// A partial header (scheme only) merges but must not become the pin
+	// either: zero-valued Mech/D/Domain would refuse every later
+	// fully-specified client.
+	partial := &collector.Pipeline{Scheme: mech.Scheme()}
+	if _, err := client.SubmitAggregate(ctx, shards[2], partial); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := client.SubmitAggregate(ctx, shards[0], pipeline); err != nil {
+		t.Fatal(err)
+	}
+	// Same scheme, different region: must be refused once pinned.
+	foreign := *pipeline
+	foreign.Domain = collector.DomainSpec{MinX: 40.7, MinY: -74.0, Side: 0.2}
+	if _, err := client.SubmitAggregate(ctx, shards[1], &foreign); err == nil {
+		t.Fatal("same-scheme shard from a different domain should be refused")
+	}
+	// The matching domain still merges.
+	if _, err := client.SubmitAggregate(ctx, shards[1], pipeline); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCadenceLoopRefreshes checks the background daemon loop re-decodes
+// merged submissions without any GET /v1/estimate driving it.
+func TestCadenceLoopRefreshes(t *testing.T) {
+	mech := newDAM(t, 4, 3.5)
+	shards := accumulateShards(t, mech, 2, 5)
+	client, _ := startServer(t, mech, 10*time.Millisecond)
+	ctx := context.Background()
+
+	waitForEstimateGen := func(gen uint64) *collector.Stats {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			stats, err := client.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.EstimateGeneration >= gen {
+				return stats
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("cadence loop never refreshed to generation %d", gen)
+		return nil
+	}
+
+	if _, err := client.SubmitAggregate(ctx, shards[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	waitForEstimateGen(1)
+	if _, err := client.SubmitAggregate(ctx, shards[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	stats := waitForEstimateGen(2)
+	if stats.WarmEstimates == 0 {
+		t.Fatal("cadence refresh after a merge should have warm-started")
+	}
+}
+
+// TestHealthzAndErrors covers the health endpoint and the error paths.
+func TestHealthzAndErrors(t *testing.T) {
+	mech := newDAM(t, 4, 2.0)
+	client, _ := startServer(t, mech, 0)
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No reports yet: estimate must refuse rather than serve garbage.
+	if _, _, err := client.Estimate(ctx); err == nil {
+		t.Fatal("estimate before any submission should fail")
+	}
+	// Garbage blobs are rejected.
+	if _, err := client.SubmitAggregateBlob(ctx, []byte("not an aggregate"), nil); err == nil {
+		t.Fatal("garbage blob should be rejected")
+	}
+	// A shard from a different scheme is refused.
+	foreign := newDAM(t, 4, 9.9)
+	if _, err := client.SubmitAggregate(ctx, foreign.NewAggregate(), nil); err == nil {
+		t.Fatal("foreign-scheme shard should be refused")
+	}
+	// Wrong methods 405.
+	resp, err := http.Get(client.BaseURL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/report returned %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,150 @@
+package collector
+
+import (
+	"fmt"
+
+	"dpspatial/internal/grid"
+)
+
+// The collector's wire formats are the ones the CLI pipeline already
+// ships on disk and over pipes: line-oriented JSON report streams
+// (opened by a Pipeline header line) and the deterministic DPA1/DPA2
+// binary aggregate encodings of internal/fo. The HTTP service adds no
+// new encoding — it frames the existing ones:
+//
+//	POST /v1/report     body = a reports stream (header line + NDJSON reports)
+//	POST /v1/aggregate  body = a DPA1/DPA2 blob (octet-stream);
+//	                    optional X-Dpspatial-Pipeline header = Pipeline JSON
+//	GET  /v1/aggregate  body = the merged canonical aggregate as a DPA2 blob
+//	GET  /v1/estimate   body = EstimateResponse JSON
+//	GET  /v1/stats      body = Stats JSON
+//	GET  /healthz       body = health JSON
+const (
+	// ReportsFormat marks a report stream: one Pipeline header line, then
+	// one JSON-encoded fo.Report per line.
+	ReportsFormat = "dpspatial-reports/1"
+	// AggregateFormat marks an aggregate envelope file: a single JSON
+	// object holding a Pipeline plus the JSON-encoded aggregate.
+	AggregateFormat = "dpspatial-aggregate/1"
+	// PipelineHeader is the HTTP header that carries a JSON-encoded
+	// Pipeline alongside a binary aggregate submission, so a collector
+	// started without a mechanism can adopt one from the first shard.
+	PipelineHeader = "X-Dpspatial-Pipeline"
+)
+
+// DomainSpec is the JSON shape of a square grid domain.
+type DomainSpec struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	Side float64 `json:"side"`
+}
+
+// Pipeline is the metadata line shared by report streams and aggregate
+// envelopes: everything a downstream stage needs to aggregate compatibly
+// and rebuild the estimator. It is the same framing cmd/damctl has
+// always written; the collector reuses it as the HTTP wire contract.
+type Pipeline struct {
+	Format string     `json:"format"`
+	Mech   string     `json:"mech"`
+	D      int        `json:"d"`
+	Eps    float64    `json:"eps"`
+	EpsGeo float64    `json:"epsGeo,omitempty"` // SEM-Geo-I calibrated budget
+	Scheme string     `json:"scheme"`
+	Shape  []int      `json:"shape"`
+	Domain DomainSpec `json:"domain"`
+}
+
+// GridDomain rebuilds the grid domain the pipeline reports over.
+func (p *Pipeline) GridDomain() (grid.Domain, error) {
+	return grid.NewDomain(p.Domain.MinX, p.Domain.MinY, p.Domain.Side, p.D)
+}
+
+// Compatible reports whether two pipelines describe the same report
+// scheme and estimator configuration.
+func (p *Pipeline) Compatible(q *Pipeline) error {
+	if p.Scheme != q.Scheme {
+		return fmt.Errorf("scheme %q does not match %q", q.Scheme, p.Scheme)
+	}
+	if p.Mech != q.Mech || p.D != q.D || p.Eps != q.Eps || p.EpsGeo != q.EpsGeo || p.Domain != q.Domain {
+		return fmt.Errorf("pipeline metadata does not match")
+	}
+	return nil
+}
+
+// SubmitResponse acknowledges an accepted shard submission.
+type SubmitResponse struct {
+	// Scheme is the report scheme the collector is locked to.
+	Scheme string `json:"scheme"`
+	// Reports is the number of reports the submitted shard carried.
+	Reports float64 `json:"reports"`
+	// TotalReports is the report count of the merged canonical aggregate
+	// after this submission.
+	TotalReports float64 `json:"totalReports"`
+	// Generation counts accepted submissions; it names the aggregate
+	// state an estimate was decoded from.
+	Generation uint64 `json:"generation"`
+}
+
+// EstimateResponse is the JSON envelope GET /v1/estimate serves. Mass is
+// JSON-marshalled by Go with the shortest round-tripping representation,
+// so the decoded histogram is bit-identical to the server's.
+type EstimateResponse struct {
+	Scheme     string     `json:"scheme"`
+	Generation uint64     `json:"generation"`
+	Reports    float64    `json:"reports"`
+	D          int        `json:"d"`
+	Domain     DomainSpec `json:"domain"`
+	Mass       []float64  `json:"mass"`
+	// Iterations is the EM iteration count of the decode that produced
+	// this estimate; Warm reports whether it was warm-started from the
+	// previous generation's estimate.
+	Iterations int  `json:"iterations"`
+	Warm       bool `json:"warm"`
+}
+
+// Histogram rebuilds the estimate as a grid histogram.
+func (e *EstimateResponse) Histogram() (*grid.Hist2D, error) {
+	dom, err := grid.NewDomain(e.Domain.MinX, e.Domain.MinY, e.Domain.Side, e.D)
+	if err != nil {
+		return nil, err
+	}
+	return grid.HistFromMass(dom, e.Mass)
+}
+
+// Stats is the JSON body of GET /v1/stats.
+type Stats struct {
+	// Scheme is empty until the collector adopts a mechanism.
+	Scheme string `json:"scheme"`
+	// Generation counts accepted shard submissions.
+	Generation uint64 `json:"generation"`
+	// AggregateShards counts accepted POST /v1/aggregate submissions,
+	// ReportShards accepted POST /v1/report streams.
+	AggregateShards uint64 `json:"aggregateShards"`
+	ReportShards    uint64 `json:"reportShards"`
+	// Reports is the total report count absorbed into the canonical
+	// aggregate.
+	Reports float64 `json:"reports"`
+	// Estimates counts EM decodes run (cold and warm); WarmEstimates the
+	// warm-started subset.
+	Estimates     uint64 `json:"estimates"`
+	WarmEstimates uint64 `json:"warmEstimates"`
+	// EstimateGeneration is the generation the served estimate was
+	// decoded from (0 = no estimate yet).
+	EstimateGeneration uint64 `json:"estimateGeneration"`
+	// LastIterations is the EM iteration count of the most recent decode;
+	// ColdBaselineIterations the count of the first (cold) decode.
+	LastIterations         int `json:"lastIterations"`
+	ColdBaselineIterations int `json:"coldBaselineIterations"`
+	// IterationsSaved accumulates, over the warm refreshes, how many EM
+	// iterations the warm start saved relative to the cold baseline
+	// decode — the dividend of incremental re-estimation.
+	IterationsSaved uint64 `json:"iterationsSaved"`
+	// CadenceMillis is the configured background merge cadence
+	// (0 = refresh only on demand).
+	CadenceMillis int64 `json:"cadenceMillis"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}

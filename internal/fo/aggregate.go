@@ -227,6 +227,29 @@ func (a *Aggregate) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// MarshalBinaryV1 encodes the aggregate in the legacy DPA1 format: every
+// plane dense, no per-plane encoding byte. Kept for fleets that still
+// run version-1 shards (UnmarshalBinary accepts both, so mixed-version
+// submissions merge transparently) and for compatibility tests.
+func (a *Aggregate) MarshalBinaryV1() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(aggregateMagic)
+	writeUvarint(&buf, uint64(len(a.Scheme)))
+	buf.WriteString(a.Scheme)
+	writeUvarint(&buf, uint64(len(a.Planes)))
+	var b [8]byte
+	for _, plane := range a.Planes {
+		writeUvarint(&buf, uint64(len(plane)))
+		for _, v := range plane {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			buf.Write(b[:])
+		}
+	}
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(a.N))
+	buf.Write(b[:])
+	return buf.Bytes(), nil
+}
+
 // UnmarshalBinary decodes either binary format version in place.
 func (a *Aggregate) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)

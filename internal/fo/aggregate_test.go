@@ -1,7 +1,9 @@
 package fo
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"math"
 	"reflect"
@@ -184,21 +186,50 @@ func TestAggregateBinaryRejectsGarbage(t *testing.T) {
 	}
 }
 
-// marshalBinaryV1 encodes an aggregate in the legacy DPA1 format (dense
-// planes, no encoding byte) so decoder compatibility stays pinned.
-func marshalBinaryV1(a *Aggregate) []byte {
-	var buf []byte
-	buf = append(buf, aggregateMagic...)
-	buf = binary.AppendUvarint(buf, uint64(len(a.Scheme)))
-	buf = append(buf, a.Scheme...)
-	buf = binary.AppendUvarint(buf, uint64(len(a.Planes)))
-	for _, plane := range a.Planes {
-		buf = binary.AppendUvarint(buf, uint64(len(plane)))
-		for _, v := range plane {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+// TestAggregateGoldenBlobs pins both wire layouts against fixed byte
+// strings, independently of the in-tree encoders: fleets hold DPA1/DPA2
+// blobs encoded by past releases, so a consistent drift of encoder and
+// decoder together must fail here even though round-trip tests stay
+// green.
+func TestAggregateGoldenBlobs(t *testing.T) {
+	agg := &Aggregate{Scheme: "grr/3 eps=2", Planes: [][]float64{{1, 0, 2}}, N: 3}
+	golden := map[string]string{
+		// magic, uvarint scheme len, scheme, uvarint plane count, then
+		// per plane: uvarint len, len × little-endian float64; then N.
+		"DPA1": "445041310b6772722f33206570733d3201" +
+			"03000000000000f03f00000000000000000000000000000040" +
+			"0000000000000840",
+		// v2 adds a per-plane encoding byte; this plane is mostly
+		// non-zero but sparse (index/value pairs) is still 5 bytes
+		// cheaper than dense at len 3 with one zero.
+		"DPA2": "445041320b6772722f33206570733d3201" +
+			"010302" + "00000000000000f03f" + "020000000000000040" +
+			"0000000000000840",
+	}
+	for version, wantHex := range golden {
+		want, err := hex.DecodeString(wantHex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var blob []byte
+		if version == "DPA1" {
+			blob, err = agg.MarshalBinaryV1()
+		} else {
+			blob, err = agg.MarshalBinary()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, want) {
+			t.Errorf("%s encoding drifted from the golden blob:\n got %x\nwant %x", version, blob, want)
+		}
+		var back Aggregate
+		if err := back.UnmarshalBinary(want); err != nil {
+			t.Errorf("golden %s blob no longer decodes: %v", version, err)
+		} else if !reflect.DeepEqual(&back, agg) {
+			t.Errorf("golden %s blob decoded to %+v", version, &back)
 		}
 	}
-	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.N))
 }
 
 func TestAggregateDecodesLegacyV1(t *testing.T) {
@@ -207,8 +238,15 @@ func TestAggregateDecodesLegacyV1(t *testing.T) {
 		t.Fatal(err)
 	}
 	agg := grrAggregate(t, g, 300, 4)
+	blobV1, err := agg.MarshalBinaryV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blobV1[:4]) != "DPA1" {
+		t.Fatalf("legacy encoder wrote magic %q", blobV1[:4])
+	}
 	var back Aggregate
-	if err := back.UnmarshalBinary(marshalBinaryV1(agg)); err != nil {
+	if err := back.UnmarshalBinary(blobV1); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(&back, agg) {

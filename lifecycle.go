@@ -3,6 +3,7 @@ package dpspatial
 import (
 	"fmt"
 
+	"dpspatial/internal/collector"
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
@@ -111,4 +112,68 @@ func AccumulateHist(m Mechanism, agg *Aggregate, truth *Histogram, r *Rand) erro
 			truth.Dom.NumCells(), rm.NumInputs())
 	}
 	return fo.Accumulate(rm, agg, truth.Mass, r)
+}
+
+// --- Collector service client ---
+//
+// internal/collector wraps the aggregator and estimator stages in a
+// long-running HTTP daemon (`damctl serve`): shards POST reports and
+// DPA-encoded aggregates, the daemon merges them associatively and keeps
+// a current estimate via warm-started EM on a merge cadence. These
+// aliases are the client side of that service.
+
+// CollectorClient submits report and aggregate shards to a collector
+// daemon over HTTP and fetches the merged estimate, aggregate and stats.
+type CollectorClient = collector.Client
+
+// NewCollectorClient returns a client for the collector daemon at
+// baseURL (e.g. "http://127.0.0.1:8080").
+func NewCollectorClient(baseURL string) *CollectorClient {
+	return collector.NewClient(baseURL)
+}
+
+// CollectorStats are the counters GET /v1/stats serves: shards merged,
+// decodes run, and the EM iterations saved by warm-started refreshes.
+type CollectorStats = collector.Stats
+
+// CollectorPipeline is the pipeline metadata a collector needs to adopt
+// a mechanism from a submission: mechanism name, grid, budget and report
+// scheme — the same header line the CLI report/aggregate files carry.
+type CollectorPipeline = collector.Pipeline
+
+// NewCollectorPipeline describes the named mechanism's report pipeline
+// over the domain — the metadata a client attaches to shard submissions
+// so a collector started without a mechanism can adopt one — and
+// returns the mechanism it describes, so callers that go on to report
+// or serve with it need not rebuild it. SEM-Geo-I records its
+// calibrated Geo-I budget so the collector rebuilds without re-running
+// the calibration bisection.
+func NewCollectorPipeline(mechName string, dom Domain, eps float64) (*CollectorPipeline, ReportingMechanism, error) {
+	p := &CollectorPipeline{
+		Mech: mechName,
+		D:    dom.D,
+		Eps:  eps,
+		Domain: collector.DomainSpec{
+			MinX: dom.MinX, MinY: dom.MinY, Side: dom.Side,
+		},
+	}
+	if mechName == "SEM-Geo-I" {
+		// Memoized, so NewMechanism's own calibration below reuses it.
+		epsGeo, err := CalibrateSEMGeoI(dom, eps)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.EpsGeo = epsGeo
+	}
+	m, err := NewMechanism(mechName, dom, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	rm, err := AsReporting(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Scheme = rm.Scheme()
+	p.Shape = rm.ReportShape()
+	return p, rm, nil
 }

@@ -2,9 +2,13 @@ package dpspatial
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"reflect"
 	"testing"
+
+	"dpspatial/internal/collector"
 )
 
 // lifecycleMechanisms builds one mechanism per family on a small grid.
@@ -317,5 +321,80 @@ func TestEstimateFromAggregateWarmPublic(t *testing.T) {
 	}
 	if _, _, err := EstimateFromAggregateWarm(mdswMech, merged, nil); err == nil {
 		t.Fatal("MDSW warm start should be unsupported")
+	}
+}
+
+// TestCollectorClientPublic round-trips two shards through a collector
+// service with the public client helpers: the fetched estimate must be
+// byte-identical to the in-process EstimateFromAggregate on the merged
+// shards, and the stats must count the submissions.
+func TestCollectorClientPublic(t *testing.T) {
+	dom, err := NewDomain(0, 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDAM(dom, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := AsReporting(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lifecycleTruth(dom)
+	r := NewRand(17)
+	shard1, shard2 := rm.NewAggregate(), rm.NewAggregate()
+	if err := AccumulateHist(m, shard1, truth, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := AccumulateHist(m, shard2, truth, r); err != nil {
+		t.Fatal(err)
+	}
+	merged := shard1.Clone()
+	if err := merged.Merge(shard2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := EstimateFromAggregate(m, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipeline, prm, err := NewCollectorPipeline("DAM", dom, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipeline.Scheme != rm.Scheme() || prm.Scheme() != rm.Scheme() {
+		t.Fatalf("pipeline scheme %q, mechanism scheme %q", pipeline.Scheme, rm.Scheme())
+	}
+	c, err := collector.New(collector.Config{Mechanism: rm, Pipeline: pipeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	client := NewCollectorClient(srv.URL)
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range []*Aggregate{shard1, shard2} {
+		if _, err := client.SubmitAggregate(ctx, shard, pipeline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := client.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Mass, want.Mass) {
+		t.Fatal("collector estimate is not byte-identical to the in-process EstimateFromAggregate")
+	}
+	var stats *CollectorStats
+	if stats, err = client.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if stats.AggregateShards != 2 || stats.Reports != merged.N {
+		t.Fatalf("stats did not count the submissions: %+v", stats)
 	}
 }
