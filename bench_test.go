@@ -588,6 +588,75 @@ func BenchmarkCollectorPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetPipeline measures the fleet-supervised lifecycle: two
+// pre-encoded DPA2 shard blobs POSTed to a supervisor fronting two
+// in-process collectors (routed round-robin over HTTP loopback), then
+// the hierarchically merged fleet estimate fetched back (member
+// aggregate pulls + cold EM decode included) — the per-epoch cost of
+// `damctl supervise` relative to BenchmarkCollectorPipeline's single
+// collector.
+func BenchmarkFleetPipeline(b *testing.B) {
+	dom := benchDomain(b, 10)
+	m, err := dpspatial.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := dpspatial.AsReporting(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := dpspatial.HistFromPoints(dom, nil)
+	r := rng.New(9)
+	for i := 0; i < 20000; i++ {
+		truth.Mass[r.Intn(len(truth.Mass))]++
+	}
+	blobs := make([][]byte, 2)
+	rr := dpspatial.NewRand(10)
+	for s := range blobs {
+		shard := rm.NewAggregate()
+		if err := dpspatial.AccumulateHist(m, shard, truth, rr); err != nil {
+			b.Fatal(err)
+		}
+		if blobs[s], err = shard.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memberURLs := make([]string, 2)
+		memberSrvs := make([]*httptest.Server, 2)
+		for j := range memberURLs {
+			c, err := collector.New(collector.Config{Mechanism: rm})
+			if err != nil {
+				b.Fatal(err)
+			}
+			memberSrvs[j] = httptest.NewServer(c)
+			memberURLs[j] = memberSrvs[j].URL
+		}
+		_, sup, err := dpspatial.NewFleetPipeline("DAM", dom, 3.5, memberURLs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		supSrv := httptest.NewServer(sup)
+		client := dpspatial.NewCollectorClient(supSrv.URL)
+		for _, blob := range blobs {
+			if _, err := client.SubmitAggregateBlob(ctx, blob, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := client.Estimate(ctx); err != nil {
+			b.Fatal(err)
+		}
+		supSrv.Close()
+		sup.Close()
+		for _, srv := range memberSrvs {
+			srv.Close()
+		}
+	}
+}
+
 // BenchmarkLocalPrivacyCalibration measures the LDP↔Geo-I budget
 // calibration of Section VII-B at d=10.
 func BenchmarkLocalPrivacyCalibration(b *testing.B) {

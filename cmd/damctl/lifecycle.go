@@ -34,34 +34,6 @@ type aggregateEnvelope struct {
 	Aggregate *dpspatial.Aggregate `json:"aggregate"`
 }
 
-// pipelineMechanism rebuilds the estimator described by the header and
-// verifies it agrees with the recorded report scheme.
-func pipelineMechanism(h *collector.Pipeline) (dpspatial.ReportingMechanism, error) {
-	dom, err := h.GridDomain()
-	if err != nil {
-		return nil, err
-	}
-	var mech dpspatial.Mechanism
-	if h.Mech == "SEM-Geo-I" && h.EpsGeo > 0 {
-		// The calibrated budget is recorded, so the estimator rebuilds
-		// without rerunning the calibration bisection.
-		mech, err = dpspatial.NewSEMGeoI(dom, h.EpsGeo)
-	} else {
-		mech, err = dpspatial.NewMechanism(h.Mech, dom, h.Eps)
-	}
-	if err != nil {
-		return nil, err
-	}
-	rm, err := dpspatial.AsReporting(mech)
-	if err != nil {
-		return nil, err
-	}
-	if rm.Scheme() != h.Scheme {
-		return nil, fmt.Errorf("rebuilt mechanism scheme %q does not match file scheme %q", rm.Scheme(), h.Scheme)
-	}
-	return rm, nil
-}
-
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV with x,y columns")
@@ -274,7 +246,7 @@ func estimateFromAggregateFile(path string) (*dpspatial.Histogram, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	rm, err := pipelineMechanism(hdr)
+	rm, err := dpspatial.NewMechanismFromPipeline(hdr)
 	if err != nil {
 		return nil, err
 	}

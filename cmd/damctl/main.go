@@ -13,8 +13,9 @@
 //	damctl estimate --in points.csv --d 15 --eps 3.5 [--mech DAM] [--workers 1]
 //	damctl estimate --from-aggregate agg.json
 //	damctl estimate --from-url http://127.0.0.1:8080
-//	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--mech DAM --d 15 --eps 3.5]
-//	damctl submit --url http://127.0.0.1:8080 rep-000.jsonl shard.json blob.dpa ...
+//	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--auth-token s3cret] [--mech DAM --d 15 --eps 3.5]
+//	damctl supervise --member http://c1:8080 --member http://c2:8080 [--policy hash] [--auth-token s3cret]
+//	damctl submit --url http://127.0.0.1:8080 [--retries 3] rep-000.jsonl shard.json blob.dpa ...
 //	damctl demo                   # before/after ASCII density maps
 package main
 
@@ -47,6 +48,8 @@ func main() {
 		err = cmdEstimate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "supervise":
+		err = cmdSupervise(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
 	case "ablate":
@@ -81,7 +84,10 @@ Commands:
             fetch from a collector (--from-url http://host:port)
   serve     run the HTTP collector daemon (merges shards, re-estimates
             on --cadence with warm-started EM)
-  submit    ship report/aggregate shard files to a collector (--url)
+  supervise run the fleet supervisor: route submissions across --member
+            collectors and serve the hierarchically merged estimate
+  submit    ship report/aggregate shard files to a collector or
+            supervisor (--url; --retries survives transient failures)
   ablate    ablation studies (--what shrink|post|baselines|rangequery)
   demo      ASCII before/after density maps on synthetic data
 

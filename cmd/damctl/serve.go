@@ -28,6 +28,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	cadence := fs.Duration("cadence", 2*time.Second, "background re-estimate cadence (0 = decode only on demand)")
+	authToken := fs.String("auth-token", "", "shared bearer-token secret; every endpoint except /healthz requires it")
 	mech := fs.String("mech", "", "pre-build this mechanism at startup (default: adopt from the first submission): "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
 	d := fs.Int("d", 15, "grid side length (with --mech)")
 	eps := fs.Float64("eps", 3.5, "privacy budget (with --mech)")
@@ -39,12 +40,13 @@ func cmdServe(args []string) error {
 	}
 
 	cfg := collector.Config{
-		Cadence: *cadence,
+		Cadence:   *cadence,
+		AuthToken: *authToken,
 		// Adopt the mechanism from the first submission's pipeline
 		// metadata (a report stream's header line, or the
 		// X-Dpspatial-Pipeline header on a binary aggregate POST).
 		Build: func(p *collector.Pipeline) (collector.Estimator, error) {
-			return pipelineMechanism(p)
+			return dpspatial.NewMechanismFromPipeline(p)
 		},
 	}
 	if *mech != "" {
@@ -90,7 +92,10 @@ func cmdServe(args []string) error {
 
 func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
-	url := fs.String("url", "", "collector base URL, e.g. http://127.0.0.1:8080")
+	url := fs.String("url", "", "collector or supervisor base URL, e.g. http://127.0.0.1:8080")
+	authToken := fs.String("auth-token", "", "bearer token for a collector running with --auth-token")
+	retries := fs.Int("retries", 3, "retry a shard this many times on transient failures (5xx / connection refused), with doubling backoff")
+	backoff := fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,14 +107,21 @@ func cmdSubmit(args []string) error {
 		return fmt.Errorf("no shard files to submit")
 	}
 	client := dpspatial.NewCollectorClient(*url)
+	client.AuthToken = *authToken
+	client.MaxRetries = *retries
+	client.RetryBackoff = *backoff
 	ctx := context.Background()
 	for _, path := range files {
 		resp, err := submitFile(ctx, client, path)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fmt.Printf("%s: merged %g reports (total %g, generation %d)\n",
-			path, resp.Reports, resp.TotalReports, resp.Generation)
+		via := ""
+		if resp.Member != "" {
+			via = fmt.Sprintf(" via %s", resp.Member)
+		}
+		fmt.Printf("%s: merged %g reports%s (total %g, generation %d)\n",
+			path, resp.Reports, via, resp.TotalReports, resp.Generation)
 	}
 	return nil
 }
@@ -155,8 +167,11 @@ func submitFile(ctx context.Context, client *dpspatial.CollectorClient, path str
 	}
 }
 
-// estimateFromURL fetches the collector's current histogram.
-func estimateFromURL(url string) (*dpspatial.Histogram, error) {
-	est, _, err := dpspatial.NewCollectorClient(url).Estimate(context.Background())
+// estimateFromURL fetches the current histogram from a collector or a
+// fleet supervisor (same protocol, so the flag is transparent).
+func estimateFromURL(url, authToken string) (*dpspatial.Histogram, error) {
+	client := dpspatial.NewCollectorClient(url)
+	client.AuthToken = authToken
+	est, _, err := client.Estimate(context.Background())
 	return est, err
 }

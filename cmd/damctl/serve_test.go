@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"dpspatial"
 	"dpspatial/internal/collector"
 )
 
@@ -15,7 +16,7 @@ func startTestCollector(t *testing.T) *httptest.Server {
 	t.Helper()
 	c, err := collector.New(collector.Config{
 		Build: func(p *collector.Pipeline) (collector.Estimator, error) {
-			return pipelineMechanism(p)
+			return dpspatial.NewMechanismFromPipeline(p)
 		},
 	})
 	if err != nil {

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dpspatial"
+	"dpspatial/internal/fleet"
+)
+
+// The supervise subcommand runs the fleet-supervisor daemon
+// (internal/fleet): it fronts N `damctl serve` collectors, routes
+// submissions across them, and serves the estimate decoded from the
+// hierarchical merge of every member's aggregate. It speaks the
+// collector wire protocol, so `damctl submit` and `damctl estimate
+// --from-url` point at it exactly like at a single collector.
+
+// memberList collects repeated --member flags (comma-separating also
+// works: --member http://a:8080,http://b:8080).
+type memberList []string
+
+func (m *memberList) String() string { return strings.Join(*m, ",") }
+
+func (m *memberList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*m = append(*m, u)
+		}
+	}
+	return nil
+}
+
+func cmdSupervise(args []string) error {
+	fs := flag.NewFlagSet("supervise", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address")
+	var members memberList
+	fs.Var(&members, "member", "downstream collector base URL (repeat or comma-separate for a fleet)")
+	policy := fs.String("policy", fleet.PolicyRoundRobin, "routing policy: "+strings.Join(fleet.Policies(), ", "))
+	cadence := fs.Duration("cadence", 2*time.Second, "health-probe + merge + warm-re-estimate cadence (0 = pull only on demand)")
+	authToken := fs.String("auth-token", "", "shared bearer-token secret: required on our endpoints and presented to members")
+	mech := fs.String("mech", "", "pre-build this mechanism at startup (default: adopt from the first submission): "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
+	d := fs.Int("d", 15, "grid side length (with --mech)")
+	eps := fs.Float64("eps", 3.5, "privacy budget (with --mech)")
+	minX := fs.Float64("minx", 0, "domain lower-left x (with --mech)")
+	minY := fs.Float64("miny", 0, "domain lower-left y (with --mech)")
+	side := fs.Float64("side", 1, "domain side length (with --mech)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("missing --member (at least one collector URL)")
+	}
+
+	opts := []dpspatial.FleetOption{
+		dpspatial.WithFleetPolicy(*policy),
+		dpspatial.WithFleetCadence(*cadence),
+		dpspatial.WithFleetAuthToken(*authToken),
+	}
+	var sup *dpspatial.FleetSupervisor
+	var err error
+	if *mech != "" {
+		dom, derr := dpspatial.NewDomain(*minX, *minY, *side, *d)
+		if derr != nil {
+			return derr
+		}
+		_, sup, err = dpspatial.NewFleetPipeline(*mech, dom, *eps, members, opts...)
+	} else {
+		sup, err = dpspatial.NewFleetSupervisor(members, opts...)
+	}
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	sup.Start()
+	defer sup.Close()
+	srv := &http.Server{Handler: sup}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("damctl: fleet supervisor listening on http://%s (%d members, %s routing, cadence %s)\n",
+		ln.Addr(), len(members), *policy, *cadence)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

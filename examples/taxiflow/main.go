@@ -1,17 +1,18 @@
 // Taxiflow: private demand estimation for a ride-hailing service (the
-// paper's introduction scenario), run through a real collector service
+// paper's introduction scenario), run through a real collector fleet
 // the way a production deployment would.
 //
 // Drivers' pickup locations are sensitive. Each pickup is randomised on
 // device — one compact LDP Report per driver — and the reports stream to
 // several independent aggregation shards. The shards hold only noisy
 // counts (safe for untrusted infrastructure) and ship their aggregates
-// over HTTP, in the deterministic DPA2 binary wire format, to a
-// long-running collector daemon (internal/collector) that merges them
-// associatively — in any arrival order — and serves the decoded
-// estimate. The example compares DAM, HUEM, DAM-NS and MDSW over the
-// same noisy setting and reports their Wasserstein errors — the smaller,
-// the better the dispatch decisions downstream.
+// over HTTP, in the deterministic DPA2 binary wire format, to a fleet
+// supervisor (internal/fleet) that routes each submission to one of two
+// collector daemons (internal/collector), then hierarchically merges the
+// members' aggregates and serves the decoded estimate. The example
+// compares DAM, HUEM, DAM-NS and MDSW over the same noisy setting and
+// reports their Wasserstein errors — the smaller, the better the
+// dispatch decisions downstream.
 package main
 
 import (
@@ -26,23 +27,37 @@ import (
 	"dpspatial/internal/synth"
 )
 
-// collectRound plays one collection epoch over the service: every driver
+// collectRound plays one collection epoch over the fleet: every driver
 // reports to one of the shards, each shard submits its aggregate to the
-// collector over HTTP, and the estimation service's decode is fetched
-// back. The fetched histogram is byte-identical to decoding the merged
-// shards in process — the collector's first decode is a cold start.
-func collectRound(rm dpspatial.ReportingMechanism, dom dpspatial.Domain,
-	pts []dpspatial.Point, shards int, seed uint64) (*dpspatial.Histogram, *dpspatial.CollectorStats, error) {
-	// One fresh collector per epoch: a long-running daemon would instead
-	// keep merging and let the warm-started cadence refreshes absorb new
-	// shards (see internal/collector and `damctl serve`).
-	coll, err := collector.New(collector.Config{Mechanism: rm})
+// supervisor over HTTP — which routes it to one of the collector
+// members — and the fleet estimate is fetched back. The fetched
+// histogram is byte-identical to decoding the merged shards in process:
+// the supervisor's first decode hierarchically merges every member's
+// aggregate and cold-starts EM, so neither the member count nor the
+// routing changes a single bit of the output.
+func collectRound(rm dpspatial.ReportingMechanism, mechName string, dom dpspatial.Domain,
+	pts []dpspatial.Point, shards, members int, eps float64, seed uint64) (*dpspatial.Histogram, *dpspatial.CollectorStats, error) {
+	// One fresh fleet per epoch: a long-running deployment would instead
+	// keep merging and let the supervisor's warm-started cadence
+	// refreshes absorb new shards (see `damctl supervise`).
+	memberURLs := make([]string, members)
+	for i := range memberURLs {
+		coll, err := collector.New(collector.Config{Mechanism: rm})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := httptest.NewServer(coll)
+		defer srv.Close()
+		memberURLs[i] = srv.URL
+	}
+	_, sup, err := dpspatial.NewFleetPipeline(mechName, dom, eps, memberURLs)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := httptest.NewServer(coll)
-	defer srv.Close()
-	client := dpspatial.NewCollectorClient(srv.URL)
+	defer sup.Close()
+	supSrv := httptest.NewServer(sup)
+	defer supSrv.Close()
+	client := dpspatial.NewCollectorClient(supSrv.URL)
 	ctx := context.Background()
 
 	// Client stage: every driver encodes one report on device and ships
@@ -63,15 +78,17 @@ func collectRound(rm dpspatial.ReportingMechanism, dom dpspatial.Domain,
 		}
 	}
 	// Aggregator stage: each shard ships its noisy counts to the
-	// collector, which merges them associatively — a tree, a chain or
-	// any interleaving of arrivals produces byte-identical state.
+	// supervisor, which routes them across the collector fleet — a
+	// tree, a chain or any interleaving of arrivals produces
+	// byte-identical merged state.
 	for _, shard := range aggs {
 		if _, err := client.SubmitAggregate(ctx, shard, nil); err != nil {
 			return nil, nil, err
 		}
 	}
-	// Estimator stage: the collector decodes the merged counts once and
-	// serves the current histogram.
+	// Estimator stage: the supervisor pulls each member's aggregate,
+	// merges hierarchically, decodes once, and serves the fleet
+	// histogram.
 	est, _, err := client.Estimate(ctx)
 	if err != nil {
 		return nil, nil, err
@@ -85,9 +102,10 @@ func collectRound(rm dpspatial.ReportingMechanism, dom dpspatial.Domain,
 
 func main() {
 	const (
-		d      = 12
-		eps    = 2.1
-		shards = 4 // independent aggregation shards
+		d       = 12
+		eps     = 2.1
+		shards  = 4 // independent aggregation shards
+		members = 2 // collector daemons behind the supervisor
 	)
 	ds, err := synth.NYCGreenTaxiLike(rng.New(2016), 1.0)
 	if err != nil {
@@ -105,24 +123,19 @@ func main() {
 	truth := dpspatial.HistFromPoints(dom, pts)
 	normTruth := truth.Clone().Normalize()
 
-	fmt.Printf("Private taxi-demand estimation: %d pickups, %d×%d grid, eps=%.1f, %d shards through an HTTP collector\n\n",
-		len(pts), d, d, eps, shards)
+	fmt.Printf("Private taxi-demand estimation: %d pickups, %d×%d grid, eps=%.1f, %d shards through a %d-collector fleet\n\n",
+		len(pts), d, d, eps, shards, members)
 	fmt.Println("True demand:")
 	fmt.Print(normTruth.Render())
 
-	type build func() (dpspatial.Mechanism, error)
 	mechanisms := []struct {
-		name  string
-		build build
+		name string
 	}{
-		{"DAM", func() (dpspatial.Mechanism, error) { return dpspatial.NewDAM(dom, eps) }},
-		{"DAM-NS", func() (dpspatial.Mechanism, error) { return dpspatial.NewDAMNS(dom, eps) }},
-		{"HUEM", func() (dpspatial.Mechanism, error) { return dpspatial.NewHUEM(dom, eps) }},
-		{"MDSW", func() (dpspatial.Mechanism, error) { return dpspatial.NewMDSW(dom, eps) }},
+		{"DAM"}, {"DAM-NS"}, {"HUEM"}, {"MDSW"},
 	}
 	fmt.Printf("\n%-8s %10s\n", "method", "W2 error")
 	for _, m := range mechanisms {
-		mech, err := m.build()
+		mech, err := dpspatial.NewMechanism(m.name, dom, eps)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -134,13 +147,13 @@ func main() {
 		const rounds = 3
 		total := 0.0
 		for round := uint64(0); round < rounds; round++ {
-			est, stats, err := collectRound(rm, dom, pts, shards, 100+round)
+			est, stats, err := collectRound(rm, m.name, dom, pts, shards, members, eps, 100+round)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if stats.AggregateShards != shards || stats.Reports != float64(len(pts)) {
-				log.Fatalf("collector merged %d shards / %g reports, expected %d / %d",
-					stats.AggregateShards, stats.Reports, shards, len(pts))
+			if stats.Generation != shards || stats.Reports != float64(len(pts)) {
+				log.Fatalf("fleet routed %d shards / %g reports, expected %d / %d",
+					stats.Generation, stats.Reports, shards, len(pts))
 			}
 			w2, err := dpspatial.Wasserstein2Sinkhorn(normTruth, est)
 			if err != nil {

@@ -3,25 +3,74 @@ package collector
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
 )
 
-// Client talks to a collector service. It speaks the same wire formats
-// the CLI pipeline writes to disk: DPA1/DPA2 binary blobs for aggregate
-// shards and header-plus-NDJSON streams for report shards.
+// Client talks to a collector service (or a fleet supervisor, which
+// speaks the same protocol). It speaks the same wire formats the CLI
+// pipeline writes to disk: DPA1/DPA2 binary blobs for aggregate shards
+// and header-plus-NDJSON streams for report shards.
 type Client struct {
 	// BaseURL is the collector root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// AuthToken, when non-empty, is sent as a bearer token in the
+	// Authorization header of every request — the shared secret of a
+	// deployment running with --auth-token.
+	AuthToken string
+	// MaxRetries bounds how many times a request is retried after a
+	// transient failure — a connection error or a 5xx status. 4xx
+	// refusals (scheme conflicts, bad shards) never retry. Zero disables
+	// retrying. Requests with a body are buffered in memory when
+	// retrying is enabled so every attempt replays identical bytes.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt. Defaults to 100ms.
+	RetryBackoff time.Duration
 }
+
+// StatusError is the error for a completed HTTP exchange with a non-2xx
+// status: the server understood the request and refused it. Transport
+// failures (connection refused, timeouts) are returned as-is, so callers
+// can tell "the collector said no" from "the collector is unreachable"
+// with errors.As.
+type StatusError struct {
+	// StatusCode is the HTTP status the server answered with.
+	StatusCode int
+	// Method and Path identify the refused request.
+	Method, Path string
+	// Message is the server's error body, when it sent one.
+	Message string
+	// SubmissionStateUnknown is set when the server marked the refusal
+	// with the X-Dpspatial-Submission-State header: the submission may
+	// have merged despite the error, so only a same-ID retry is safe.
+	SubmissionStateUnknown bool
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("collector: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("collector: %s %s: HTTP %d", e.Method, e.Path, e.StatusCode)
+}
+
+// IsTransient reports whether the refusal is worth retrying: 5xx means
+// the server (or a member behind a supervisor) failed, not that the
+// submission was invalid.
+func (e *StatusError) IsTransient() bool { return e.StatusCode >= 500 }
 
 // NewClient returns a client for the collector at baseURL.
 func NewClient(baseURL string) *Client {
@@ -36,12 +85,109 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, header http.Header, out any) error {
+	var bodyBytes []byte
+	canRetry := true
+	if body != nil && c.MaxRetries > 0 {
+		// Buffer so retries replay the exact bytes — but only up to the
+		// server's body cap: a larger body would be rejected anyway if
+		// buffered, so past the cap stream it once without retrying
+		// rather than slurping an arbitrarily large file into memory.
+		b, err := io.ReadAll(io.LimitReader(body, DefaultMaxBodyBytes+1))
+		if err != nil {
+			return err
+		}
+		if int64(len(b)) > DefaultMaxBodyBytes {
+			body = io.MultiReader(bytes.NewReader(b), body)
+			canRetry = false
+		} else {
+			bodyBytes = b
+			body = nil
+		}
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		rd := body
+		if bodyBytes != nil {
+			rd = bytes.NewReader(bodyBytes)
+		}
+		err := c.doOnce(ctx, method, path, contentType, rd, header, out)
+		if err == nil || attempt >= c.MaxRetries || !canRetry || !isTransient(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// transportError marks a failure where no HTTP response arrived at all
+// (connection refused, reset, timeout) — the only non-status errors that
+// are safe to retry. A decode error after a 200 is NOT retryable: the
+// server already merged the shard, and replaying it would double-count.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// isTransient classifies an error from doOnce as retryable: transport
+// failures (connection refused, resets) and 5xx statuses are. A
+// response-phase transport failure leaves the server's merge state
+// unknown — which is why every submission carries an idempotency ID
+// that the retry replays, so a merged-but-unacked shard answers with
+// the original ack instead of merging twice. 4xx refusals and local
+// encoding errors are not retried.
+func isTransient(err error) bool {
+	if se, ok := err.(*StatusError); ok {
+		return se.IsTransient()
+	}
+	_, ok := err.(*transportError)
+	return ok
+}
+
+// RequestNotSent reports whether a Client error provably occurred
+// before the request reached the server — a dial-phase failure — so
+// re-sending it elsewhere cannot duplicate work even without the
+// idempotency log. Anything past dial (reset, timeout, truncated
+// response) leaves the server's state unknown.
+func RequestNotSent(err error) bool {
+	var te *transportError
+	if !errors.As(err, &te) {
+		return false
+	}
+	var op *net.OpError
+	return errors.As(te.err, &op) && op.Op == "dial"
+}
+
+// NewSubmissionID draws a fresh idempotency ID for one logical shard
+// submission. Submit helpers call it implicitly; use the *WithID
+// variants to retry a submission under its original ID across client
+// instances.
+func NewSubmissionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; an ID-less
+		// submission merely loses replay protection.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body io.Reader, header http.Header, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if c.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.AuthToken)
 	}
 	for k, vs := range header {
 		for _, v := range vs {
@@ -50,7 +196,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return &transportError{err: err}
 	}
 	defer func() {
 		// Drain so the keep-alive connection returns to the pool.
@@ -58,11 +204,15 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{
+			StatusCode: resp.StatusCode, Method: method, Path: path,
+			SubmissionStateUnknown: resp.Header.Get(SubmissionStateHeader) == SubmissionStateUnknown,
+		}
 		var e errorResponse
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("collector: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			se.Message = e.Error
 		}
-		return fmt.Errorf("collector: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return se
 	}
 	if out == nil {
 		return nil
@@ -94,15 +244,25 @@ func (c *Client) SubmitAggregate(ctx context.Context, shard *fo.Aggregate, p *Pi
 	return c.SubmitAggregateBlob(ctx, blob, p)
 }
 
-// SubmitAggregateBlob ships an already-encoded DPA1/DPA2 blob verbatim.
+// SubmitAggregateBlob ships an already-encoded DPA1/DPA2 blob verbatim
+// under a fresh submission ID.
 func (c *Client) SubmitAggregateBlob(ctx context.Context, blob []byte, p *Pipeline) (*SubmitResponse, error) {
-	var header http.Header
+	return c.SubmitAggregateBlobWithID(ctx, blob, p, NewSubmissionID())
+}
+
+// SubmitAggregateBlobWithID ships a blob under an explicit submission
+// ID — the replay key a server's idempotency log dedups on.
+func (c *Client) SubmitAggregateBlobWithID(ctx context.Context, blob []byte, p *Pipeline, id string) (*SubmitResponse, error) {
+	header := http.Header{}
 	if p != nil {
 		hdr, err := json.Marshal(p)
 		if err != nil {
 			return nil, err
 		}
-		header = http.Header{PipelineHeader: []string{string(hdr)}}
+		header.Set(PipelineHeader, string(hdr))
+	}
+	if id != "" {
+		header.Set(SubmissionIDHeader, id)
 	}
 	var resp SubmitResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/aggregate", "application/octet-stream",
@@ -115,10 +275,20 @@ func (c *Client) SubmitAggregateBlob(ctx context.Context, blob []byte, p *Pipeli
 // SubmitReportStream ships a report shard — a stream in the CLI's
 // reports framing (Pipeline header line, then NDJSON reports), or bare
 // report lines if the collector is already locked to a scheme. The whole
-// stream merges as one shard.
+// stream merges as one shard under a fresh submission ID.
 func (c *Client) SubmitReportStream(ctx context.Context, stream io.Reader) (*SubmitResponse, error) {
+	return c.SubmitReportStreamWithID(ctx, stream, NewSubmissionID())
+}
+
+// SubmitReportStreamWithID ships a report stream under an explicit
+// submission ID.
+func (c *Client) SubmitReportStreamWithID(ctx context.Context, stream io.Reader, id string) (*SubmitResponse, error) {
+	header := http.Header{}
+	if id != "" {
+		header.Set(SubmissionIDHeader, id)
+	}
 	var resp SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/report", "application/x-ndjson", stream, nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/report", "application/x-ndjson", stream, header, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -160,10 +330,11 @@ func (c *Client) Estimate(ctx context.Context) (*grid.Hist2D, *EstimateResponse,
 
 // FetchAggregate downloads the merged canonical aggregate — the chaining
 // primitive for hierarchical collectors: a downstream collector can
-// submit the blob verbatim to an upstream one.
+// submit the blob verbatim to an upstream one, and the fleet supervisor
+// pulls each member's blob through it on the merge cadence.
 func (c *Client) FetchAggregate(ctx context.Context) (*fo.Aggregate, error) {
-	var blob []byte
-	if err := c.do(ctx, http.MethodGet, "/v1/aggregate", "", nil, nil, &blob); err != nil {
+	blob, err := c.FetchAggregateBlob(ctx)
+	if err != nil {
 		return nil, err
 	}
 	agg := &fo.Aggregate{}
@@ -171,6 +342,16 @@ func (c *Client) FetchAggregate(ctx context.Context) (*fo.Aggregate, error) {
 		return nil, err
 	}
 	return agg, nil
+}
+
+// FetchAggregateBlob downloads the merged canonical aggregate as raw
+// DPA2 bytes, without decoding.
+func (c *Client) FetchAggregateBlob(ctx context.Context) ([]byte, error) {
+	var blob []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/aggregate", "", nil, nil, &blob); err != nil {
+		return nil, err
+	}
+	return blob, nil
 }
 
 // Stats fetches the collector's counters.

@@ -74,16 +74,29 @@ type Config struct {
 	Cadence time.Duration
 	// MaxBodyBytes caps accepted request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// AuthToken, when non-empty, locks every endpoint except GET
+	// /healthz behind shared-secret bearer-token auth: requests must
+	// carry "Authorization: Bearer <token>". Clients set the same token
+	// in Client.AuthToken.
+	AuthToken string
 }
 
-const defaultMaxBodyBytes = 64 << 20
+// DefaultMaxBodyBytes is the request-body cap applied when a collector
+// or fleet supervisor config leaves MaxBodyBytes unset.
+const DefaultMaxBodyBytes = 64 << 20
+
+// DedupWindow bounds the idempotency logs of collectors and
+// supervisors: the acks of this many recent submissions are remembered
+// for replay detection.
+const DedupWindow = 1 << 16
 
 // Collector is the HTTP service. It implements http.Handler; run it
 // under any http.Server (or httptest.Server), and call Start/Close
 // around the serving lifetime to run the cadence loop.
 type Collector struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler // mux behind the optional bearer-token gate
 
 	// mu guards the mutable collector state. Submissions hold it only
 	// for the merge itself, never during an EM decode.
@@ -98,6 +111,7 @@ type Collector struct {
 	estWarm    bool    // whether that decode was warm-started
 	estN       float64 // report count of the aggregate est was decoded from
 	stats      Stats
+	acks       *AckLog // idempotency log: submission ID → original ack
 
 	// decodeMu serialises EM decodes so concurrent GET /v1/estimate
 	// requests do not duplicate work; submissions proceed meanwhile.
@@ -114,9 +128,9 @@ func New(cfg Config) (*Collector, error) {
 		return nil, fmt.Errorf("collector: config needs a Mechanism or a Build hook")
 	}
 	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = defaultMaxBodyBytes
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	c := &Collector{cfg: cfg, stop: make(chan struct{})}
+	c := &Collector{cfg: cfg, stop: make(chan struct{}), acks: NewAckLog(DedupWindow)}
 	if cfg.Mechanism != nil {
 		c.mech = cfg.Mechanism
 		c.pipeline = cfg.Pipeline
@@ -130,12 +144,13 @@ func New(cfg Config) (*Collector, error) {
 	c.mux.HandleFunc("/v1/aggregate", c.handleAggregate)
 	c.mux.HandleFunc("/v1/estimate", c.handleEstimate)
 	c.mux.HandleFunc("/v1/stats", c.handleStats)
+	c.handler = RequireBearer(cfg.AuthToken, c.mux)
 	return c, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	c.mux.ServeHTTP(w, r)
+	c.handler.ServeHTTP(w, r)
 }
 
 // Start launches the background merge-cadence loop. It is a no-op when
@@ -265,13 +280,19 @@ func (c *Collector) checkAndPinPipelineLocked(p *Pipeline) error {
 }
 
 // commitShard runs the locked commit of a fully parsed and validated
-// submission: install an adopted candidate mechanism, validate and pin
-// the pipeline metadata, merge the shard, and count it. Both submission
-// handlers share it so the adoption transaction cannot diverge between
-// the report and aggregate paths.
-func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimator, adopted bool, count func(*Stats)) (SubmitResponse, error) {
+// submission: replay-check the submission ID, install an adopted
+// candidate mechanism, validate and pin the pipeline metadata, merge
+// the shard, and count it. Both submission handlers share it so the
+// adoption transaction cannot diverge between the report and aggregate
+// paths. A replayed ID returns the original ack without merging, which
+// is what makes client retries after a lost response exactly-once.
+func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimator, adopted bool, id string, count func(*Stats)) (SubmitResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if prev, ok := c.acks.Get(id); ok {
+		c.stats.DuplicateShards++
+		return prev, nil
+	}
 	if adopted {
 		if err := c.adoptLocked(mech, hdr); err != nil {
 			return SubmitResponse{}, err
@@ -285,7 +306,21 @@ func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimat
 		return SubmitResponse{}, err
 	}
 	count(&c.stats)
+	c.acks.Put(id, resp)
 	return resp, nil
+}
+
+// replayedAck answers a submission whose ID was already merged without
+// touching the request body — the handlers' fast path.
+func (c *Collector) replayedAck(r *http.Request) (SubmitResponse, bool) {
+	id := r.Header.Get(SubmissionIDHeader)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.acks.Get(id)
+	if ok {
+		c.stats.DuplicateShards++
+	}
+	return prev, ok
 }
 
 // mergeLocked folds one submitted shard into the canonical aggregate.
@@ -352,39 +387,37 @@ func (c *Collector) refresh() (estimateState, error) {
 	mech := c.mech
 	c.mu.Unlock()
 
-	var est *grid.Hist2D
-	var iters int
-	warm := false
-	if ws, ok := mech.(WarmEstimator); ok {
-		e, stats, err := ws.EstimateFromAggregateWarm(snapshot, init)
-		if err != nil {
-			return estimateState{}, err
-		}
-		est, iters, warm = e, stats.Iterations, init != nil
-	} else {
-		e, err := mech.EstimateFromAggregate(snapshot)
-		if err != nil {
-			return estimateState{}, err
-		}
-		est = e
+	est, iters, warm, err := DecodeEstimate(mech, snapshot, init)
+	if err != nil {
+		return estimateState{}, err
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.est, c.estGen, c.estN = est, snapGen, snapshot.N
 	c.estIters, c.estWarm = iters, warm
-	c.stats.Estimates++
 	c.stats.EstimateGeneration = snapGen
-	c.stats.LastIterations = iters
-	if warm {
-		c.stats.WarmEstimates++
-		if saved := c.stats.ColdBaselineIterations - iters; saved > 0 {
-			c.stats.IterationsSaved += uint64(saved)
-		}
-	} else if c.stats.ColdBaselineIterations == 0 {
-		c.stats.ColdBaselineIterations = iters
-	}
+	c.stats.Account(iters, warm)
 	return estimateState{est: est, gen: snapGen, n: snapshot.N, iters: iters, warm: warm}, nil
+}
+
+// DecodeEstimate runs one estimate decode: warm-started from init when
+// the mechanism supports it and init is non-nil, cold otherwise. The
+// collector's refresh and the fleet supervisor's share it so the
+// cold/warm selection cannot diverge between the tiers.
+func DecodeEstimate(mech Estimator, agg *fo.Aggregate, init *grid.Hist2D) (est *grid.Hist2D, iters int, warm bool, err error) {
+	if ws, ok := mech.(WarmEstimator); ok {
+		e, stats, err := ws.EstimateFromAggregateWarm(agg, init)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return e, stats.Iterations, init != nil, nil
+	}
+	e, err := mech.EstimateFromAggregate(agg)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return e, 0, false, nil
 }
 
 // --- HTTP handlers ---
@@ -413,6 +446,10 @@ func (c *Collector) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	if prev, ok := c.replayedAck(r); ok {
+		writeJSON(w, http.StatusOK, &prev)
 		return
 	}
 	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes), 1<<20)
@@ -482,7 +519,7 @@ func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp, err := c.commitShard(shard, hdr, mech, adopted, func(s *Stats) { s.ReportShards++ })
+	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), func(s *Stats) { s.ReportShards++ })
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
@@ -500,6 +537,10 @@ func (c *Collector) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST only"))
+		return
+	}
+	if prev, ok := c.replayedAck(r); ok {
+		writeJSON(w, http.StatusOK, &prev)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
@@ -531,7 +572,7 @@ func (c *Collector) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
-	resp, err := c.commitShard(shard, hdr, mech, adopted, func(s *Stats) { s.AggregateShards++ })
+	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), func(s *Stats) { s.AggregateShards++ })
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
@@ -604,13 +645,20 @@ func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &stats)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as the JSON response body — the envelope helper
+// shared by the collector and fleet-supervisor handlers.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, &errorResponse{Error: err.Error()})
+// WriteError writes the wire error envelope both tiers answer with.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, &errorResponse{Error: err.Error()})
 }
+
+func writeJSON(w http.ResponseWriter, status int, v any) { WriteJSON(w, status, v) }
+
+func writeError(w http.ResponseWriter, status int, err error) { WriteError(w, status, err) }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -444,6 +445,228 @@ func TestCadenceLoopRefreshes(t *testing.T) {
 	stats := waitForEstimateGen(2)
 	if stats.WarmEstimates == 0 {
 		t.Fatal("cadence refresh after a merge should have warm-started")
+	}
+}
+
+// TestAuthToken locks a collector behind --auth-token semantics: every
+// endpoint except /healthz refuses tokenless and wrong-token requests,
+// and the matching bearer token unlocks the full lifecycle.
+func TestAuthToken(t *testing.T) {
+	mech := newDAM(t, 4, 2.0)
+	c, err := collector.New(collector.Config{Mechanism: mech, AuthToken: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+	ctx := context.Background()
+	shards := accumulateShards(t, mech, 1, 3)
+
+	bare := collector.NewClient(srv.URL)
+	if err := bare.Health(ctx); err != nil {
+		t.Fatalf("healthz should stay open: %v", err)
+	}
+	if _, err := bare.SubmitAggregate(ctx, shards[0], nil); err == nil {
+		t.Fatal("tokenless submission should be refused")
+	} else {
+		var se *collector.StatusError
+		if !errors.As(err, &se) || se.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("tokenless submission got %v, want 401", err)
+		}
+	}
+	wrong := collector.NewClient(srv.URL)
+	wrong.AuthToken = "not-it"
+	if _, err := wrong.Stats(ctx); err == nil {
+		t.Fatal("wrong token should be refused")
+	}
+
+	authed := collector.NewClient(srv.URL)
+	authed.AuthToken = "s3cret"
+	if _, err := authed.SubmitAggregate(ctx, shards[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := authed.Estimate(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flakyFront fails the first n requests with 503 before passing through
+// to the wrapped collector.
+type flakyFront struct {
+	mu        sync.Mutex
+	failFirst int
+	requests  int
+	next      http.Handler
+}
+
+func (f *flakyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.requests++
+	fail := f.requests <= f.failFirst
+	f.mu.Unlock()
+	if fail {
+		http.Error(w, `{"error":"briefly unhealthy"}`, http.StatusServiceUnavailable)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// TestClientRetriesTransientFailures checks the bounded-retry client: a
+// submission that hits transient 5xx answers is replayed (with the
+// exact same bytes — the merge happens once) until the member recovers,
+// while 4xx refusals and retry-disabled clients fail immediately.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	mech := newDAM(t, 4, 2.0)
+	c, err := collector.New(collector.Config{Mechanism: mech})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := &flakyFront{failFirst: 2, next: c}
+	srv := httptest.NewServer(front)
+	defer srv.Close()
+	ctx := context.Background()
+	shards := accumulateShards(t, mech, 2, 9)
+
+	// No retries: the first 503 is fatal.
+	plain := collector.NewClient(srv.URL)
+	if _, err := plain.SubmitAggregate(ctx, shards[0], nil); err == nil {
+		t.Fatal("retry-disabled client should surface the 503")
+	}
+
+	// Retries enabled: two failures are absorbed, the shard merges once.
+	retrying := collector.NewClient(srv.URL)
+	retrying.MaxRetries = 3
+	retrying.RetryBackoff = time.Millisecond
+	front.mu.Lock()
+	front.requests, front.failFirst = 0, 2
+	front.mu.Unlock()
+	resp, err := retrying.SubmitAggregate(ctx, shards[0], nil)
+	if err != nil {
+		t.Fatalf("retrying client should absorb transient 503s: %v", err)
+	}
+	if resp.TotalReports != shards[0].N {
+		t.Fatalf("shard merged %g reports total, want %g (exactly once)", resp.TotalReports, shards[0].N)
+	}
+	front.mu.Lock()
+	requests := front.requests
+	front.mu.Unlock()
+	if requests != 3 {
+		t.Fatalf("expected 3 attempts (2 failures + success), saw %d", requests)
+	}
+
+	// A 4xx refusal (foreign scheme) must not retry.
+	foreign := newDAM(t, 6, 1.0)
+	front.mu.Lock()
+	front.requests, front.failFirst = 0, 0
+	front.mu.Unlock()
+	if _, err := retrying.SubmitAggregate(ctx, foreign.NewAggregate(), nil); err == nil {
+		t.Fatal("foreign-scheme shard should be refused")
+	}
+	front.mu.Lock()
+	requests = front.requests
+	front.mu.Unlock()
+	if requests != 1 {
+		t.Fatalf("4xx refusal should not retry, saw %d attempts", requests)
+	}
+}
+
+// TestSubmissionIDExactlyOnce replays a submission under its original
+// ID and checks the shard merges exactly once, with the original ack
+// repeated and marked duplicate.
+func TestSubmissionIDExactlyOnce(t *testing.T) {
+	mech := newDAM(t, 4, 2.0)
+	client, _ := startServer(t, mech, 0)
+	ctx := context.Background()
+	shards := accumulateShards(t, mech, 1, 21)
+	blob, err := shards[0].MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := collector.NewSubmissionID()
+	first, err := client.SubmitAggregateBlobWithID(ctx, blob, nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Duplicate {
+		t.Fatal("first submission marked duplicate")
+	}
+	replay, err := client.SubmitAggregateBlobWithID(ctx, blob, nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Duplicate {
+		t.Fatal("replayed ID not marked duplicate")
+	}
+	if replay.TotalReports != first.TotalReports || replay.Generation != first.Generation {
+		t.Fatalf("replay ack %+v differs from original %+v", replay, first)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation != 1 || stats.Reports != shards[0].N || stats.DuplicateShards != 1 {
+		t.Fatalf("replay merged twice or was not counted: %+v", stats)
+	}
+}
+
+// abortOnce processes the first POST for real but kills the connection
+// before any response bytes leave — the lost-ack failure mode.
+type abortOnce struct {
+	mu      sync.Mutex
+	aborted bool
+	next    http.Handler
+}
+
+func (a *abortOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	abort := r.Method == http.MethodPost && !a.aborted
+	if abort {
+		a.aborted = true
+	}
+	a.mu.Unlock()
+	if abort {
+		rec := httptest.NewRecorder()
+		a.next.ServeHTTP(rec, r)
+		panic(http.ErrAbortHandler)
+	}
+	a.next.ServeHTTP(w, r)
+}
+
+// TestClientRetryAfterLostAckMergesOnce covers the nastiest retry case:
+// the server merges the shard but the response is lost mid-flight. The
+// retry replays the same submission ID, so the idempotency log answers
+// with the original ack and the shard counts exactly once.
+func TestClientRetryAfterLostAckMergesOnce(t *testing.T) {
+	mech := newDAM(t, 4, 2.0)
+	c, err := collector.New(collector.Config{Mechanism: mech})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(&abortOnce{next: c})
+	defer srv.Close()
+	ctx := context.Background()
+	shards := accumulateShards(t, mech, 1, 27)
+
+	client := collector.NewClient(srv.URL)
+	client.MaxRetries = 3
+	client.RetryBackoff = time.Millisecond
+	resp, err := client.SubmitAggregate(ctx, shards[0], nil)
+	if err != nil {
+		t.Fatalf("retry after a lost ack should recover: %v", err)
+	}
+	if !resp.Duplicate {
+		t.Fatal("recovered ack should be marked duplicate (the first attempt merged)")
+	}
+	if resp.TotalReports != shards[0].N {
+		t.Fatalf("shard counted %g reports total, want %g (exactly once)", resp.TotalReports, shards[0].N)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation != 1 || stats.Reports != shards[0].N {
+		t.Fatalf("lost-ack retry merged twice: %+v", stats)
 	}
 }
 

@@ -30,6 +30,18 @@ const (
 	// Pipeline alongside a binary aggregate submission, so a collector
 	// started without a mechanism can adopt one from the first shard.
 	PipelineHeader = "X-Dpspatial-Pipeline"
+	// SubmissionIDHeader carries a submission's idempotency ID: retries
+	// of the same logical shard reuse the ID, and collectors and
+	// supervisors answer a replay with the original ack instead of
+	// merging twice. The Client generates one per submission call.
+	SubmissionIDHeader = "X-Dpspatial-Submission-Id"
+	// SubmissionStateHeader, set to SubmissionStateUnknown on an error
+	// response, marks a refusal whose submission MAY still have merged
+	// (a lost member answer, a concurrent in-flight attempt). A
+	// supervisor one tier up must not fail such a submission over to
+	// another member — only a retry of the same ID is safe.
+	SubmissionStateHeader  = "X-Dpspatial-Submission-State"
+	SubmissionStateUnknown = "unknown"
 )
 
 // DomainSpec is the JSON shape of a square grid domain.
@@ -81,8 +93,59 @@ type SubmitResponse struct {
 	// after this submission.
 	TotalReports float64 `json:"totalReports"`
 	// Generation counts accepted submissions; it names the aggregate
-	// state an estimate was decoded from.
+	// state an estimate was decoded from. A fleet supervisor reports its
+	// own routed-submission count here.
 	Generation uint64 `json:"generation"`
+	// Member, set only by a fleet supervisor, is the base URL of the
+	// collector the submission was routed to.
+	Member string `json:"member,omitempty"`
+	// Duplicate marks a replayed submission ID: the shard had already
+	// merged, and this ack repeats the original one.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// AckLog is a FIFO-bounded idempotency log: the acks of the most recent
+// submissions, keyed by submission ID. Collectors and supervisors
+// consult it so a retried shard — same ID, replayed after a lost
+// response — merges exactly once. The bound caps memory; a retry
+// arriving after more than windowSize newer submissions would re-merge,
+// which at that depth means the client waited far past any sane backoff.
+type AckLog struct {
+	acks  map[string]SubmitResponse
+	order []string
+	cap   int
+}
+
+// NewAckLog returns a log remembering the last windowSize acks.
+func NewAckLog(windowSize int) *AckLog {
+	return &AckLog{acks: make(map[string]SubmitResponse), cap: windowSize}
+}
+
+// Get returns the remembered ack for id, marked as a duplicate.
+func (l *AckLog) Get(id string) (SubmitResponse, bool) {
+	if id == "" {
+		return SubmitResponse{}, false
+	}
+	resp, ok := l.acks[id]
+	if ok {
+		resp.Duplicate = true
+	}
+	return resp, ok
+}
+
+// Put remembers the ack for id, evicting the oldest entry past the cap.
+func (l *AckLog) Put(id string, resp SubmitResponse) {
+	if id == "" {
+		return
+	}
+	if _, exists := l.acks[id]; !exists {
+		l.order = append(l.order, id)
+		if len(l.order) > l.cap {
+			delete(l.acks, l.order[0])
+			l.order = l.order[1:]
+		}
+	}
+	l.acks[id] = resp
 }
 
 // EstimateResponse is the JSON envelope GET /v1/estimate serves. Mass is
@@ -118,19 +181,34 @@ type Stats struct {
 	// Generation counts accepted shard submissions.
 	Generation uint64 `json:"generation"`
 	// AggregateShards counts accepted POST /v1/aggregate submissions,
-	// ReportShards accepted POST /v1/report streams.
+	// ReportShards accepted POST /v1/report streams, and
+	// DuplicateShards replayed submission IDs answered from the
+	// idempotency log without merging.
 	AggregateShards uint64 `json:"aggregateShards"`
 	ReportShards    uint64 `json:"reportShards"`
+	DuplicateShards uint64 `json:"duplicateShards,omitempty"`
 	// Reports is the total report count absorbed into the canonical
 	// aggregate.
 	Reports float64 `json:"reports"`
+	// DecodeCounters is the per-decode accounting (cold/warm decodes,
+	// iterations saved), shared with the fleet supervisor's stats.
+	DecodeCounters
+	// EstimateGeneration is the generation the served estimate was
+	// decoded from (0 = no estimate yet).
+	EstimateGeneration uint64 `json:"estimateGeneration"`
+	// CadenceMillis is the configured background merge cadence
+	// (0 = refresh only on demand).
+	CadenceMillis int64 `json:"cadenceMillis"`
+}
+
+// DecodeCounters is the estimate-decode accounting block the collector
+// and fleet supervisor stats envelopes embed, so the iterations-saved
+// arithmetic cannot diverge between the tiers.
+type DecodeCounters struct {
 	// Estimates counts EM decodes run (cold and warm); WarmEstimates the
 	// warm-started subset.
 	Estimates     uint64 `json:"estimates"`
 	WarmEstimates uint64 `json:"warmEstimates"`
-	// EstimateGeneration is the generation the served estimate was
-	// decoded from (0 = no estimate yet).
-	EstimateGeneration uint64 `json:"estimateGeneration"`
 	// LastIterations is the EM iteration count of the most recent decode;
 	// ColdBaselineIterations the count of the first (cold) decode.
 	LastIterations         int `json:"lastIterations"`
@@ -139,9 +217,20 @@ type Stats struct {
 	// iterations the warm start saved relative to the cold baseline
 	// decode — the dividend of incremental re-estimation.
 	IterationsSaved uint64 `json:"iterationsSaved"`
-	// CadenceMillis is the configured background merge cadence
-	// (0 = refresh only on demand).
-	CadenceMillis int64 `json:"cadenceMillis"`
+}
+
+// Account records one decode's outcome in the counters.
+func (d *DecodeCounters) Account(iters int, warm bool) {
+	d.Estimates++
+	d.LastIterations = iters
+	if warm {
+		d.WarmEstimates++
+		if saved := d.ColdBaselineIterations - iters; saved > 0 {
+			d.IterationsSaved += uint64(saved)
+		}
+	} else if d.ColdBaselineIterations == 0 {
+		d.ColdBaselineIterations = iters
+	}
 }
 
 // errorResponse is the JSON body of every non-2xx response.

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+)
+
+// Routing policies. Both return a full preference order over the fleet,
+// not a single pick, so the forwarding loop can fail over past unhealthy
+// or refusing members deterministically. The fleet estimate is
+// byte-identical under every policy — Merge is associative-commutative
+// over exactly-representable counts, so where a shard lands never
+// changes what the union decodes to — which is why the policy is purely
+// an operational knob.
+const (
+	// PolicyRoundRobin cycles submissions across members in order — the
+	// default, best for evenly spreading decode and merge load.
+	PolicyRoundRobin = "round-robin"
+	// PolicyHash routes by consistent hash of the submission body over a
+	// ring of virtual nodes: the same shard bytes always prefer the same
+	// member, and losing a member only reroutes that member's arc.
+	PolicyHash = "hash"
+)
+
+// Policies lists the routing policies a supervisor accepts.
+func Policies() []string { return []string{PolicyRoundRobin, PolicyHash} }
+
+// router yields a preference-ordered slice of members for a submission
+// body. Only the hash policy actually reads the bytes.
+type router interface {
+	// order returns every fleet member, most-preferred first.
+	order(body []byte) []*member
+}
+
+func newRouter(policy string, members []*member) (router, error) {
+	switch policy {
+	case "", PolicyRoundRobin:
+		return &roundRobin{members: members}, nil
+	case PolicyHash:
+		return newHashRing(members), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown routing policy %q (have %v)", policy, Policies())
+	}
+}
+
+// roundRobin rotates the preference order one member per submission.
+type roundRobin struct {
+	members []*member
+	next    atomic.Uint64
+}
+
+func (r *roundRobin) order([]byte) []*member {
+	start := int((r.next.Add(1) - 1) % uint64(len(r.members)))
+	out := make([]*member, 0, len(r.members))
+	for i := range r.members {
+		out = append(out, r.members[(start+i)%len(r.members)])
+	}
+	return out
+}
+
+// hashRing is a consistent-hash ring with virtual nodes: each member
+// owns ringVnodes points on the ring, and a submission prefers the
+// first member clockwise of its key. Walking the ring yields the
+// failover order, so a down member's arc spills to its ring successors
+// while every other submission keeps its assignment.
+type hashRing struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash uint64
+	m    *member
+}
+
+const ringVnodes = 64
+
+func newHashRing(members []*member) *hashRing {
+	r := &hashRing{n: len(members)}
+	for _, m := range members {
+		for v := 0; v < ringVnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", m.url, v)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), m: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].m.url < r.points[j].m.url
+	})
+	return r
+}
+
+func (r *hashRing) order(body []byte) []*member {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	key := h.Sum64()
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]*member, 0, r.n)
+	seen := make(map[*member]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.m] {
+			seen[p.m] = true
+			out = append(out, p.m)
+		}
+	}
+	return out
+}

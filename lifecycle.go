@@ -2,9 +2,11 @@ package dpspatial
 
 import (
 	"fmt"
+	"time"
 
 	"dpspatial/internal/collector"
 	"dpspatial/internal/em"
+	"dpspatial/internal/fleet"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
 )
@@ -176,4 +178,120 @@ func NewCollectorPipeline(mechName string, dom Domain, eps float64) (*CollectorP
 	p.Scheme = rm.Scheme()
 	p.Shape = rm.ReportShape()
 	return p, rm, nil
+}
+
+// NewMechanismFromPipeline rebuilds the estimator a pipeline header
+// describes and verifies it agrees with the recorded report scheme —
+// the adoption hook collectors and fleet supervisors run on a first
+// submission. SEM-Geo-I's recorded Geo-I budget is reused, so the
+// rebuild never re-runs the calibration bisection.
+func NewMechanismFromPipeline(p *CollectorPipeline) (ReportingMechanism, error) {
+	dom, err := p.GridDomain()
+	if err != nil {
+		return nil, err
+	}
+	var mech Mechanism
+	if p.Mech == "SEM-Geo-I" && p.EpsGeo > 0 {
+		mech, err = NewSEMGeoI(dom, p.EpsGeo)
+	} else {
+		mech, err = NewMechanism(p.Mech, dom, p.Eps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rm, err := AsReporting(mech)
+	if err != nil {
+		return nil, err
+	}
+	if rm.Scheme() != p.Scheme {
+		return nil, fmt.Errorf("dpspatial: rebuilt mechanism scheme %q does not match pipeline scheme %q", rm.Scheme(), p.Scheme)
+	}
+	return rm, nil
+}
+
+// --- Fleet supervisor ---
+//
+// internal/fleet is the tier above the collector service: a supervisor
+// daemon (`damctl supervise`) fronting N collectors, routing submissions
+// across the fleet and serving the estimate decoded from the
+// hierarchical merge of every member's aggregate. It speaks the
+// collector wire protocol, so CollectorClient (and `damctl submit` /
+// `estimate --from-url`) point at a supervisor transparently.
+
+// FleetSupervisor routes shard submissions across a fleet of collector
+// daemons and serves the hierarchically merged fleet estimate. It is an
+// http.Handler; call Start/Close around the serving lifetime to run the
+// health-probe + merge cadence loop.
+type FleetSupervisor = fleet.Supervisor
+
+// FleetStats are the counters the supervisor's GET /v1/stats serves:
+// routed submissions, failovers, per-member health, and the EM
+// iterations saved by warm-started fleet refreshes.
+type FleetStats = fleet.Stats
+
+// FleetMemberStats is one member's entry in FleetStats.
+type FleetMemberStats = fleet.MemberStats
+
+// FleetOption adjusts a fleet supervisor's configuration.
+type FleetOption func(*fleet.Config)
+
+// WithFleetPolicy picks the routing policy: "round-robin" (default) or
+// "hash" (consistent hash of the submission body over a virtual-node
+// ring). The fleet estimate is byte-identical under either.
+func WithFleetPolicy(policy string) FleetOption {
+	return func(c *fleet.Config) { c.Policy = policy }
+}
+
+// WithFleetCadence sets the background health-probe and merge +
+// warm-re-estimate period (0 = pull only on demand).
+func WithFleetCadence(d time.Duration) FleetOption {
+	return func(c *fleet.Config) { c.Cadence = d }
+}
+
+// WithFleetAuthToken sets the fleet's shared bearer-token secret: the
+// supervisor requires it on its own endpoints and presents it to
+// members started with the same --auth-token.
+func WithFleetAuthToken(token string) FleetOption {
+	return func(c *fleet.Config) { c.AuthToken = token }
+}
+
+// NewFleetPipeline builds a supervisor fronting the collectors at
+// memberURLs, pre-built around the named mechanism over the domain, and
+// returns the fleet-wide pinned pipeline alongside it. The supervisor
+// injects the pipeline into forwarded submissions, so members may start
+// bare (`damctl serve` with no --mech) and adopt on first contact. The
+// fleet estimate is byte-identical to EstimateFromAggregate on the
+// union of all submitted shards, for any member count, routing policy
+// and arrival interleaving.
+func NewFleetPipeline(mechName string, dom Domain, eps float64, memberURLs []string, opts ...FleetOption) (*CollectorPipeline, *FleetSupervisor, error) {
+	p, rm, err := NewCollectorPipeline(mechName, dom, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := fleet.Config{Members: memberURLs, Mechanism: rm, Pipeline: p}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	sup, err := fleet.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, sup, nil
+}
+
+// NewFleetSupervisor builds a supervisor with no pre-built mechanism:
+// the fleet adopts its pipeline from the first accepted submission that
+// carries pipeline metadata, transactionally — a rejected submission
+// can never lock the fleet.
+func NewFleetSupervisor(memberURLs []string, opts ...FleetOption) (*FleetSupervisor, error) {
+	cfg := fleet.Config{
+		Members: memberURLs,
+		Build: func(p *collector.Pipeline) (collector.Estimator, error) {
+			return NewMechanismFromPipeline(p)
+		},
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return fleet.New(cfg)
 }

@@ -398,3 +398,93 @@ func TestCollectorClientPublic(t *testing.T) {
 		t.Fatalf("stats did not count the submissions: %+v", stats)
 	}
 }
+
+// TestFleetPipelinePublic drives the fleet supervisor through the
+// public API: NewFleetPipeline over two real collectors, four shards
+// submitted through the supervisor, and the fleet estimate must be
+// byte-identical to the in-process EstimateFromAggregate on the union —
+// the collector invariant one level up.
+func TestFleetPipelinePublic(t *testing.T) {
+	dom, err := NewDomain(0, 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDAM(dom, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := AsReporting(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lifecycleTruth(dom)
+	r := NewRand(29)
+	shards := make([]*Aggregate, 4)
+	union := rm.NewAggregate()
+	for i := range shards {
+		shards[i] = rm.NewAggregate()
+		if err := AccumulateHist(m, shards[i], truth, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := union.Merge(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := EstimateFromAggregate(m, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, policy := range []string{"round-robin", "hash"} {
+		// Two fresh collectors in adopt mode per policy: the supervisor
+		// injects the pinned pipeline, so neither needs pre-building.
+		memberURLs := make([]string, 2)
+		for i := range memberURLs {
+			c, err := collector.New(collector.Config{
+				Build: func(p *collector.Pipeline) (collector.Estimator, error) {
+					return NewMechanismFromPipeline(p)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(c)
+			defer srv.Close()
+			memberURLs[i] = srv.URL
+		}
+		pipeline, sup, err := NewFleetPipeline("DAM", dom, 2.0, memberURLs, WithFleetPolicy(policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pipeline.Scheme != rm.Scheme() {
+			t.Fatalf("fleet pipeline scheme %q, mechanism scheme %q", pipeline.Scheme, rm.Scheme())
+		}
+		supSrv := httptest.NewServer(sup)
+		client := NewCollectorClient(supSrv.URL)
+		ctx := context.Background()
+		for _, shard := range shards {
+			if _, err := client.SubmitAggregate(ctx, shard, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, meta, err := client.Estimate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Warm {
+			t.Fatal("first fleet decode should be cold")
+		}
+		if !reflect.DeepEqual(got.Mass, want.Mass) {
+			t.Fatalf("%s: fleet estimate is not byte-identical to the in-process EstimateFromAggregate", policy)
+		}
+		var stats *CollectorStats
+		if stats, err = client.Stats(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Generation != uint64(len(shards)) || stats.Reports != union.N {
+			t.Fatalf("%s: fleet stats did not count the submissions: %+v", policy, stats)
+		}
+		supSrv.Close()
+		sup.Close()
+	}
+}
