@@ -588,6 +588,63 @@ func BenchmarkCollectorPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryPipeline measures the analyst tier end to end: two
+// pre-encoded DPA2 shard blobs POSTed to a fresh in-process collector
+// over HTTP loopback, then a range and a top-k answer fetched from GET
+// /v1/query (the range decode is cold per iteration; the top-k reuses
+// the generation-cached estimate) — the per-epoch cost of serving live
+// queries on top of BenchmarkCollectorPipeline's merge work.
+func BenchmarkQueryPipeline(b *testing.B) {
+	dom := benchDomain(b, 10)
+	m, err := dpspatial.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := dpspatial.AsReporting(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := dpspatial.HistFromPoints(dom, nil)
+	r := rng.New(9)
+	for i := 0; i < 20000; i++ {
+		truth.Mass[r.Intn(len(truth.Mass))]++
+	}
+	blobs := make([][]byte, 2)
+	rr := dpspatial.NewRand(10)
+	for s := range blobs {
+		shard := rm.NewAggregate()
+		if err := dpspatial.AccumulateHist(m, shard, truth, rr); err != nil {
+			b.Fatal(err)
+		}
+		if blobs[s], err = shard.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := collector.New(collector.Config{Mechanism: rm})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(c)
+		client := dpspatial.NewCollectorClient(srv.URL)
+		for _, blob := range blobs {
+			if _, err := client.SubmitAggregateBlob(ctx, blob, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := client.QueryRange(ctx, 2, 2, 7, 7); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.QueryTopK(ctx, 10); err != nil {
+			b.Fatal(err)
+		}
+		srv.Close()
+	}
+}
+
 // BenchmarkFleetPipeline measures the fleet-supervised lifecycle: two
 // pre-encoded DPA2 shard blobs POSTed to a supervisor fronting two
 // in-process collectors (routed round-robin over HTTP loopback), then

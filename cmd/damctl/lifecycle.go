@@ -39,7 +39,7 @@ func cmdReport(args []string) error {
 	in := fs.String("in", "", "input CSV with x,y columns")
 	d := fs.Int("d", 15, "grid side length")
 	eps := fs.Float64("eps", 3.5, "privacy budget")
-	mech := fs.String("mech", "DAM", "mechanism: "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
+	mech := fs.String("mech", "DAM", "mechanism: "+strings.Join(dpspatial.MechanismNames(), ", "))
 	seed := fs.Uint64("seed", 1, "random seed")
 	shards := fs.Int("shards", 1, "number of report shard files to write round-robin")
 	out := fs.String("out", "", "output path (default stdout); with --shards k > 1, a prefix for <out>-000.jsonl ...")

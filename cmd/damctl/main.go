@@ -16,6 +16,7 @@
 //	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--auth-token s3cret] [--mech DAM --d 15 --eps 3.5]
 //	damctl supervise --member http://c1:8080 --member http://c2:8080 [--policy hash] [--auth-token s3cret]
 //	damctl submit --url http://127.0.0.1:8080 [--retries 3] rep-000.jsonl shard.json blob.dpa ...
+//	damctl query  --url http://127.0.0.1:8080 --range 2,2,8,8 | --topk 5   (or --from-aggregate agg.json)
 //	damctl demo                   # before/after ASCII density maps
 package main
 
@@ -52,6 +53,8 @@ func main() {
 		err = cmdSupervise(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
 	case "ablate":
 		err = cmdAblate(os.Args[2:])
 	case "demo":
@@ -88,6 +91,9 @@ Commands:
             collectors and serve the hierarchically merged estimate
   submit    ship report/aggregate shard files to a collector or
             supervisor (--url; --retries survives transient failures)
+  query     answer a range (--range x0,y0,x1,y1) or top-k (--topk k)
+            query from a service (--url) or a merged aggregate file
+            (--from-aggregate); both routes print identical answers
   ablate    ablation studies (--what shrink|post|baselines|rangequery)
   demo      ASCII before/after density maps on synthetic data
 

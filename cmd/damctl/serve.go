@@ -29,7 +29,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	cadence := fs.Duration("cadence", 2*time.Second, "background re-estimate cadence (0 = decode only on demand)")
 	authToken := fs.String("auth-token", "", "shared bearer-token secret; every endpoint except /healthz requires it")
-	mech := fs.String("mech", "", "pre-build this mechanism at startup (default: adopt from the first submission): "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
+	mech := fs.String("mech", "", "pre-build this mechanism at startup (default: adopt from the first submission): "+strings.Join(dpspatial.MechanismNames(), ", "))
 	d := fs.Int("d", 15, "grid side length (with --mech)")
 	eps := fs.Float64("eps", 3.5, "privacy budget (with --mech)")
 	minX := fs.Float64("minx", 0, "domain lower-left x (with --mech)")

@@ -46,7 +46,7 @@ func cmdSupervise(args []string) error {
 	policy := fs.String("policy", fleet.PolicyRoundRobin, "routing policy: "+strings.Join(fleet.Policies(), ", "))
 	cadence := fs.Duration("cadence", 2*time.Second, "health-probe + merge + warm-re-estimate cadence (0 = pull only on demand)")
 	authToken := fs.String("auth-token", "", "shared bearer-token secret: required on our endpoints and presented to members")
-	mech := fs.String("mech", "", "pre-build this mechanism at startup (default: adopt from the first submission): "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
+	mech := fs.String("mech", "", "pre-build this mechanism at startup (default: adopt from the first submission): "+strings.Join(dpspatial.MechanismNames(), ", "))
 	d := fs.Int("d", 15, "grid side length (with --mech)")
 	eps := fs.Float64("eps", 3.5, "privacy budget (with --mech)")
 	minX := fs.Float64("minx", 0, "domain lower-left x (with --mech)")

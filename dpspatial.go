@@ -30,14 +30,17 @@ import (
 	"strings"
 	"sync"
 
+	"dpspatial/internal/baselines"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/geom"
 	"dpspatial/internal/grid"
 	"dpspatial/internal/localprivacy"
 	"dpspatial/internal/mdsw"
+	"dpspatial/internal/rangequery"
 	"dpspatial/internal/rng"
 	"dpspatial/internal/sam"
 	"dpspatial/internal/semgeoi"
+	"dpspatial/internal/trajectory"
 	"dpspatial/internal/transport"
 )
 
@@ -336,10 +339,68 @@ func EstimateMechanismNames() []string {
 	return []string{"DAM", "DAM-NS", "HUEM", "MDSW", "SEM-Geo-I"}
 }
 
+// MechanismNames lists every mechanism NewMechanism accepts: the
+// paper's headline five, then the baseline and workload-specific
+// families that ride the same report lifecycle (all of them implement
+// ReportingMechanism, so any of them can serve through the collector
+// and fleet tiers).
+func MechanismNames() []string {
+	return append(EstimateMechanismNames(),
+		"CFO", "PlanarLaplace", "AHEAD", "LDPTrace", "PivotTrace")
+}
+
+// Defaults for the workload-specific mechanisms' secondary parameters —
+// the paper's evaluation settings. They are part of the report scheme
+// string, so mismatched pipelines are refused at adoption time.
+const (
+	// LDPTraceMaxLen is the trajectory length cap LDPTrace buckets over.
+	LDPTraceMaxLen = 200
+	// PivotTraceMaxPivots is the pivot-subsample cap PivotTrace splits
+	// its budget across.
+	PivotTraceMaxPivots = 4
+)
+
+// NewCFO builds the Bucket+CFO baseline: generalized randomized
+// response over the d² grid cells with EM decoding.
+func NewCFO(dom Domain, eps float64) (Mechanism, error) {
+	return baselines.NewCFO(dom, eps)
+}
+
+// NewPlanarLaplace builds the planar Laplace mechanism of
+// Geo-Indistinguishability with per-cell-unit budget epsGeo
+// (a weaker guarantee than ε-LDP at the same numeric budget).
+func NewPlanarLaplace(dom Domain, epsGeo float64) (Mechanism, error) {
+	return baselines.NewPlanarLaplace(dom, epsGeo)
+}
+
+// NewAHEAD builds the adaptive hierarchical range-query estimator. Its
+// EstimateHist returns the normalised leaf histogram; range queries are
+// answered through the quadtree (rangequery.AHEAD's EstimateTree /
+// EstimateTreeFromAggregate, or the collector's /v1/query endpoint).
+func NewAHEAD(dom Domain, eps float64) (Mechanism, error) {
+	return rangequery.NewAHEAD(dom, eps)
+}
+
+// NewLDPTrace builds the synthesis-based trajectory baseline with the
+// trajectory length cap maxLen.
+func NewLDPTrace(dom Domain, eps float64, maxLen int) (Mechanism, error) {
+	return trajectory.NewLDPTrace(dom, eps, maxLen)
+}
+
+// NewPivotTrace builds the pivot-perturbation trajectory baseline with
+// up to maxPivots pivots per trajectory.
+func NewPivotTrace(dom Domain, eps float64, maxPivots int) (Mechanism, error) {
+	return trajectory.NewPivotTrace(dom, eps, maxPivots)
+}
+
 // NewMechanism builds a mechanism by name over the domain with ε-LDP
 // budget eps — the same construction Estimate performs internally.
 // "SEM-Geo-I" calibrates its Geo-I budget with CalibrateSEMGeoI so its
-// local privacy matches DAM's at the same ε.
+// local privacy matches DAM's at the same ε; "PlanarLaplace" interprets
+// eps as its per-cell-unit Geo-I budget. "LDPTrace" and "PivotTrace"
+// use the paper's evaluation defaults (LDPTraceMaxLen,
+// PivotTraceMaxPivots) so the report scheme is fixed by (name, d, ε)
+// alone — what pipeline adoption needs.
 func NewMechanism(name string, dom Domain, eps float64, opts ...Option) (Mechanism, error) {
 	switch name {
 	case "DAM":
@@ -356,9 +417,19 @@ func NewMechanism(name string, dom Domain, eps float64, opts ...Option) (Mechani
 			return nil, err
 		}
 		return NewSEMGeoI(dom, epsGeo, opts...)
+	case "CFO":
+		return NewCFO(dom, eps)
+	case "PlanarLaplace":
+		return NewPlanarLaplace(dom, eps)
+	case "AHEAD":
+		return NewAHEAD(dom, eps)
+	case "LDPTrace":
+		return NewLDPTrace(dom, eps, LDPTraceMaxLen)
+	case "PivotTrace":
+		return NewPivotTrace(dom, eps, PivotTraceMaxPivots)
 	default:
 		return nil, fmt.Errorf("dpspatial: unknown mechanism %q (accepted: %s)",
-			name, strings.Join(EstimateMechanismNames(), ", "))
+			name, strings.Join(MechanismNames(), ", "))
 	}
 }
 

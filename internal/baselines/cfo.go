@@ -14,7 +14,6 @@ package baselines
 
 import (
 	"fmt"
-	"math"
 
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
@@ -56,23 +55,52 @@ func (c *CFO) Channel() *fo.Channel { return c.grr.Channel() }
 // Perturb randomises one cell index.
 func (c *CFO) Perturb(input int, r *rng.RNG) int { return c.grr.Perturb(input, r) }
 
-// EstimateHist runs the full pipeline on a true count histogram.
-func (c *CFO) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
-	if truth.Dom.D != c.dom.D {
-		return nil, fmt.Errorf("baselines: histogram d=%d, mechanism d=%d", truth.Dom.D, c.dom.D)
+// Scheme implements fo.Reporter: the report format is the GRR output over
+// the d² grid cells.
+func (c *CFO) Scheme() string {
+	return fmt.Sprintf("baselines/cfo d=%d eps=%g", c.dom.D, c.grr.Epsilon())
+}
+
+// NumInputs implements fo.Reporter.
+func (c *CFO) NumInputs() int { return c.dom.NumCells() }
+
+// ReportShape implements fo.Reporter: one plane of d² counts.
+func (c *CFO) ReportShape() []int { return []int{c.dom.NumCells()} }
+
+// Report implements fo.Reporter: one user's randomised-response output
+// cell, on the same draw stream Perturb has always used.
+func (c *CFO) Report(input int, r *rng.RNG) (fo.Report, error) {
+	return c.grr.Report(input, r)
+}
+
+// NewAggregate allocates an empty aggregate for this mechanism's reports.
+func (c *CFO) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(c) }
+
+// EstimateFromAggregate decodes an accumulated aggregate (one shard or a
+// merge of many) via EM on the two-valued GRR channel — the estimator
+// stage of the report lifecycle.
+func (c *CFO) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	if err := agg.Compatible(c); err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
 	}
-	counts := make([]float64, c.dom.NumCells())
-	for i, n := range truth.Mass {
-		if n < 0 || n != math.Trunc(n) {
-			return nil, fmt.Errorf("baselines: invalid count %v at cell %d", n, i)
-		}
-		for k := 0; k < int(n); k++ {
-			counts[c.grr.Perturb(i, r)]++
-		}
-	}
-	est, err := em.Estimate(c.grr.Linear(), counts, nil)
+	est, err := em.Estimate(c.grr.Linear(), agg.Planes[0], nil)
 	if err != nil {
 		return nil, err
 	}
 	return grid.HistFromMass(c.dom, est)
+}
+
+// EstimateHist runs the full report lifecycle in-process: accumulate
+// every user's report into one aggregate, then estimate from it. The
+// report stream and output are byte-identical to the historical
+// monolithic path.
+func (c *CFO) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != c.dom.D {
+		return nil, fmt.Errorf("baselines: histogram d=%d, mechanism d=%d", truth.Dom.D, c.dom.D)
+	}
+	agg := c.NewAggregate()
+	if err := fo.Accumulate(c, agg, truth.Mass, r); err != nil {
+		return nil, err
+	}
+	return c.EstimateFromAggregate(agg)
 }

@@ -3,6 +3,7 @@ package baselines
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
@@ -25,6 +26,10 @@ type PlanarLaplace struct {
 	epsGeo  float64
 	channel *fo.Channel
 	norms   []float64 // per-row pre-normalisation mass Z_i
+
+	samplersOnce sync.Once
+	samplers     []*rng.Alias
+	samplersErr  error
 }
 
 // NewPlanarLaplace builds the mechanism with per-cell-unit budget
@@ -111,29 +116,74 @@ func inverseGammaCDF(u, eps float64) float64 {
 	return (lo + hi) / 2
 }
 
-// EstimateHist runs the full pipeline on a true count histogram.
-func (p *PlanarLaplace) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
-	if truth.Dom.D != p.dom.D {
-		return nil, fmt.Errorf("baselines: histogram d=%d, mechanism d=%d", truth.Dom.D, p.dom.D)
-	}
-	samplers, err := p.channel.Samplers()
+// Samplers returns the per-input-cell alias tables for O(1) perturbation,
+// building them once on first use (the old per-EstimateHist rebuild paid
+// the full O(d⁴) table construction on every call). The tables are built
+// from the validated channel rows, so draws are bit-identical to the
+// per-call tables'. The returned slice is shared; treat it as read-only.
+func (p *PlanarLaplace) Samplers() ([]*rng.Alias, error) {
+	p.samplersOnce.Do(func() {
+		p.samplers, p.samplersErr = p.channel.Samplers()
+	})
+	return p.samplers, p.samplersErr
+}
+
+// Scheme implements fo.Reporter: the report format is the discretised
+// planar-Laplace channel over the d² grid cells.
+func (p *PlanarLaplace) Scheme() string {
+	return fmt.Sprintf("baselines/planarlaplace d=%d epsgeo=%g", p.dom.D, p.epsGeo)
+}
+
+// NumInputs implements fo.Reporter.
+func (p *PlanarLaplace) NumInputs() int { return p.dom.NumCells() }
+
+// ReportShape implements fo.Reporter: one plane of d² counts.
+func (p *PlanarLaplace) ReportShape() []int { return []int{p.dom.NumCells()} }
+
+// Report implements fo.Reporter: one user's perturbed cell through the
+// cached alias samplers — the same draw stream EstimateHist has always
+// consumed.
+func (p *PlanarLaplace) Report(input int, r *rng.RNG) (fo.Report, error) {
+	samplers, err := p.Samplers()
 	if err != nil {
-		return nil, err
+		return fo.Report{}, err
 	}
-	counts := make([]float64, p.dom.NumCells())
-	for i, n := range truth.Mass {
-		if n < 0 || n != math.Trunc(n) {
-			return nil, fmt.Errorf("baselines: invalid count %v at cell %d", n, i)
-		}
-		for k := 0; k < int(n); k++ {
-			counts[samplers[i].Draw(r)]++
-		}
+	if input < 0 || input >= len(samplers) {
+		return fo.Report{}, fmt.Errorf("baselines: input cell %d outside [0, %d)", input, len(samplers))
 	}
-	est, err := em.Estimate(p.channel, counts, nil)
+	return fo.SingleIndexReport(samplers[input].Draw(r)), nil
+}
+
+// NewAggregate allocates an empty aggregate for this mechanism's reports.
+func (p *PlanarLaplace) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(p) }
+
+// EstimateFromAggregate decodes an accumulated aggregate (one shard or a
+// merge of many) via EM on the dense cell channel — the estimator stage
+// of the report lifecycle.
+func (p *PlanarLaplace) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	if err := agg.Compatible(p); err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	est, err := em.Estimate(p.channel, agg.Planes[0], nil)
 	if err != nil {
 		return nil, err
 	}
 	return grid.HistFromMass(p.dom, est)
+}
+
+// EstimateHist runs the full report lifecycle in-process: accumulate
+// every user's report into one aggregate, then estimate from it. The
+// report stream and output are byte-identical to the historical
+// monolithic path.
+func (p *PlanarLaplace) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != p.dom.D {
+		return nil, fmt.Errorf("baselines: histogram d=%d, mechanism d=%d", truth.Dom.D, p.dom.D)
+	}
+	agg := p.NewAggregate()
+	if err := fo.Accumulate(p, agg, truth.Mass, r); err != nil {
+		return nil, err
+	}
+	return p.EstimateFromAggregate(agg)
 }
 
 // GeoIRatioHolds verifies the discretised channel's Geo-I guarantee

@@ -27,6 +27,7 @@ import (
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/rangequery"
 )
 
 // Estimator is the mechanism surface the collector needs: the client
@@ -113,6 +114,13 @@ type Collector struct {
 	stats      Stats
 	acks       *AckLog // idempotency log: submission ID → original ack
 
+	// queryTree caches the quadtree decode backing /v1/query range
+	// answers for TreeEstimator mechanisms, keyed by the generation it
+	// was decoded from — a merge bumps the generation, invalidating it.
+	queryTree    *rangequery.Quadtree
+	queryTreeGen uint64
+	queryTreeN   float64
+
 	// decodeMu serialises EM decodes so concurrent GET /v1/estimate
 	// requests do not duplicate work; submissions proceed meanwhile.
 	decodeMu sync.Mutex
@@ -143,6 +151,7 @@ func New(cfg Config) (*Collector, error) {
 	c.mux.HandleFunc("/v1/report", c.handleReport)
 	c.mux.HandleFunc("/v1/aggregate", c.handleAggregate)
 	c.mux.HandleFunc("/v1/estimate", c.handleEstimate)
+	c.mux.HandleFunc("/v1/query", c.handleQuery)
 	c.mux.HandleFunc("/v1/stats", c.handleStats)
 	c.handler = RequireBearer(cfg.AuthToken, c.mux)
 	return c, nil

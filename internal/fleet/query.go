@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dpspatial/internal/collector"
+	"dpspatial/internal/rangequery"
+)
+
+// GET /v1/query one tier up: the supervisor answers the collector's
+// query contract from the hierarchical merge of every member's
+// aggregate, so the answer is byte-identical to a single collector's
+// over the union of all shards — for any member count, routing policy
+// and arrival interleaving. A pull that cannot assemble the full union
+// (a member holding routed submissions is down) refuses with 503 via
+// pullErrorStatus rather than serving a partial answer.
+
+// handleQuery serves GET /v1/query from the fleet-merged state.
+func (s *Supervisor) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		collector.WriteError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	req, err := collector.ParseQueryRequest(r.URL.Query())
+	if err != nil {
+		collector.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.answerQuery(r.Context(), req)
+	if err != nil {
+		status := pullErrorStatus(err)
+		if errors.As(err, new(*collector.BadQueryError)) {
+			status = http.StatusBadRequest
+		}
+		collector.WriteError(w, status, err)
+		return
+	}
+	collector.WriteJSON(w, http.StatusOK, resp)
+}
+
+// answerQuery mirrors the collector's basis selection over the fleet
+// merge: quadtree for TreeEstimator range queries, estimate histogram
+// otherwise.
+func (s *Supervisor) answerQuery(ctx context.Context, req collector.QueryRequest) (*collector.QueryResponse, error) {
+	s.mu.Lock()
+	mech := s.mech
+	s.mu.Unlock()
+	if mech == nil {
+		return nil, errNoMechanism
+	}
+	if te, ok := mech.(collector.TreeEstimator); ok && req.Type == collector.QueryTypeRange {
+		tree, gen, n, err := s.rangeTree(ctx, te)
+		if err != nil {
+			return nil, err
+		}
+		return collector.AnswerQuery(req, mech.Scheme(), gen, n, tree, nil)
+	}
+	cur, err := s.refresh(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return collector.AnswerQuery(req, mech.Scheme(), cur.gen, cur.n, nil, cur.est)
+}
+
+// rangeTree pulls the member aggregates, merges hierarchically and
+// decodes the quadtree, reusing the previous decode when the member-blob
+// hash is unchanged — the same invalidation rule as the fleet estimate.
+// A partial union surfaces as pullMerged's memberDownError (503).
+func (s *Supervisor) rangeTree(ctx context.Context, te collector.TreeEstimator) (*rangequery.Quadtree, uint64, float64, error) {
+	s.decodeMu.Lock()
+	defer s.decodeMu.Unlock()
+	merged, hash, err := s.pullMerged(ctx)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if merged.N == 0 {
+		return nil, 0, 0, errNoReports
+	}
+	s.mu.Lock()
+	if s.queryTree != nil && s.queryTreeHash == hash {
+		t, gen, n := s.queryTree, s.queryTreeGen, s.queryTreeN
+		s.mu.Unlock()
+		return t, gen, n, nil
+	}
+	routed := s.stats.Routed
+	s.mu.Unlock()
+	tree, _, err := te.EstimateTreeFromAggregate(merged)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	s.mu.Lock()
+	s.queryTree, s.queryTreeHash = tree, hash
+	s.queryTreeGen, s.queryTreeN = routed, merged.N
+	s.mu.Unlock()
+	return tree, routed, merged.N, nil
+}

@@ -43,6 +43,7 @@ import (
 	"dpspatial/internal/collector"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/rangequery"
 )
 
 // Config configures a fleet supervisor.
@@ -115,6 +116,14 @@ type Supervisor struct {
 	estIters int
 	estWarm  bool
 
+	// queryTree caches the quadtree decode backing /v1/query range
+	// answers for TreeEstimator mechanisms, keyed by the member-blob
+	// hash of the pull it was decoded from.
+	queryTree     *rangequery.Quadtree
+	queryTreeHash uint64
+	queryTreeGen  uint64
+	queryTreeN    float64
+
 	// decodeMu serialises pull+decode cycles so concurrent GET
 	// /v1/estimate requests do not duplicate EM work.
 	decodeMu sync.Mutex
@@ -175,6 +184,7 @@ func New(cfg Config) (*Supervisor, error) {
 	s.mux.HandleFunc("/v1/report", s.handleReport)
 	s.mux.HandleFunc("/v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.handler = collector.RequireBearer(cfg.AuthToken, s.mux)
 	return s, nil

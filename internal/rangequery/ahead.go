@@ -28,16 +28,53 @@ import (
 // receive estimates from several levels; they are merged by inverse-
 // variance weighting.
 type AHEAD struct {
-	dom grid.Domain
-	eps float64
+	dom    grid.Domain
+	eps    float64
+	levels int
+	// infos[ℓ] (ℓ = 1..levels-1) is the frontier assignment of level ℓ:
+	// the quadtree structure depends only on d, so the per-level node
+	// lists, cell→frontier-position maps and OUE oracles are fixed at
+	// construction and shared by every report and decode.
+	infos []levelAssign
 }
 
-// NewAHEAD builds the estimator.
+// levelAssign is one hierarchy level's fixed reporting assignment.
+type levelAssign struct {
+	nodes  []*Node // template frontier, deterministic order
+	byCell []int   // cell index → frontier position
+	oracle *fo.OUE
+}
+
+// NewAHEAD builds the estimator. The quadtree structure, per-level
+// frontiers and OUE oracles are precomputed here — they depend only on
+// the grid side, never on the data.
 func NewAHEAD(dom grid.Domain, eps float64) (*AHEAD, error) {
 	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("rangequery: invalid epsilon %v", eps)
 	}
-	return &AHEAD{dom: dom, eps: eps}, nil
+	a := &AHEAD{dom: dom, eps: eps}
+	tmpl := BuildQuadtree(grid.NewHist(dom))
+	a.levels = tmpl.Levels
+	if a.levels >= 2 {
+		a.infos = make([]levelAssign, a.levels)
+		for l := 1; l < a.levels; l++ {
+			nodes := tmpl.Frontier(l)
+			byCell := make([]int, dom.NumCells())
+			for pos, n := range nodes {
+				for y := n.Y0; y <= n.Y1; y++ {
+					for x := n.X0; x <= n.X1; x++ {
+						byCell[y*dom.D+x] = pos
+					}
+				}
+			}
+			oue, err := fo.NewOUE(maxInt(2, len(nodes)), eps)
+			if err != nil {
+				return nil, err
+			}
+			a.infos[l] = levelAssign{nodes: nodes, byCell: byCell, oracle: oue}
+		}
+	}
+	return a, nil
 }
 
 // Name returns the estimator's display name.
@@ -49,68 +86,104 @@ type estimateEntry struct {
 	variance float64
 }
 
+// Scheme implements fo.Reporter: the report format is fixed by the grid
+// side (which determines the hierarchy) and the budget.
+func (a *AHEAD) Scheme() string {
+	return fmt.Sprintf("rangequery/ahead d=%d eps=%g", a.dom.D, a.eps)
+}
+
+// NumInputs implements fo.Reporter.
+func (a *AHEAD) NumInputs() int { return a.dom.NumCells() }
+
+// ReportShape implements fo.Reporter: plane 0 counts users per hierarchy
+// level (levels−1 slots), and plane ℓ (ℓ ≥ 1) is level ℓ's OUE support
+// vector over its frontier nodes. Each report touches plane 0 and
+// exactly one support plane, so per-level user counts and supports merge
+// across shards like any other aggregate.
+func (a *AHEAD) ReportShape() []int {
+	if a.levels < 2 {
+		return []int{0}
+	}
+	shape := make([]int, a.levels)
+	shape[0] = a.levels - 1
+	for l := 1; l < a.levels; l++ {
+		shape[l] = a.infos[l].oracle.NumCategories()
+	}
+	return shape
+}
+
+// Report implements fo.Reporter: the user lands on a uniformly random
+// hierarchy level and reports their frontier node there through OUE
+// under the full ε — the identical draw stream the monolithic collect
+// loop has always consumed.
+func (a *AHEAD) Report(input int, r *rng.RNG) (fo.Report, error) {
+	if a.levels < 2 {
+		return fo.Report{}, fmt.Errorf("rangequery: %d-level hierarchy has no report scheme", a.levels)
+	}
+	if input < 0 || input >= a.dom.NumCells() {
+		return fo.Report{}, fmt.Errorf("rangequery: input cell %d outside [0, %d)", input, a.dom.NumCells())
+	}
+	l := 1 + r.Intn(a.levels-1)
+	info := &a.infos[l]
+	bits := info.oracle.PerturbBits(info.byCell[input], r)
+	set := make([]int, 0, 4)
+	for j, b := range bits {
+		if b {
+			set = append(set, j)
+		}
+	}
+	planes := make([][]int, a.levels)
+	planes[0] = []int{l - 1}
+	planes[l] = set
+	return fo.Report{Planes: planes}, nil
+}
+
+// NewAggregate allocates an empty aggregate for this mechanism's reports.
+func (a *AHEAD) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(a) }
+
 // EstimateTree collects the noisy hierarchy from a true count histogram
 // and returns a consistent quadtree of estimated counts plus the implied
-// leaf histogram (leaf values clipped at zero).
+// leaf histogram (leaf values clipped at zero). It is a thin wrapper
+// over the report lifecycle: accumulate every user's report into one
+// aggregate, then decode it.
 func (a *AHEAD) EstimateTree(truth *grid.Hist2D, r *rng.RNG) (*Quadtree, *grid.Hist2D, error) {
 	if truth.Dom.D != a.dom.D {
 		return nil, nil, fmt.Errorf("rangequery: histogram d=%d, estimator d=%d", truth.Dom.D, a.dom.D)
 	}
-	tree := BuildQuadtree(truth) // structure; values rewritten below
-	levels := tree.Levels
-	if levels < 2 {
-		return tree, truth.Clone(), nil
+	if a.levels < 2 {
+		return BuildQuadtree(truth), truth.Clone(), nil
 	}
+	agg := a.NewAggregate()
+	if err := fo.Accumulate(a, agg, truth.Mass, r); err != nil {
+		return nil, nil, err
+	}
+	return a.EstimateTreeFromAggregate(agg)
+}
 
-	type levelInfo struct {
-		nodes   []*Node
-		byCell  []int
-		support []float64
-		oracle  *fo.OUE
-		users   float64
+// EstimateTreeFromAggregate decodes an accumulated aggregate (one shard
+// or a merge of many) into a consistent quadtree of estimated counts
+// plus the implied leaf histogram. Every call builds a fresh tree, so
+// decodes of a shared mechanism never race on node values.
+func (a *AHEAD) EstimateTreeFromAggregate(agg *fo.Aggregate) (*Quadtree, *grid.Hist2D, error) {
+	if err := agg.Compatible(a); err != nil {
+		return nil, nil, fmt.Errorf("rangequery: %w", err)
 	}
-	infos := make([]levelInfo, levels)
-	for l := 1; l < levels; l++ {
-		nodes := tree.Frontier(l)
-		byCell := make([]int, a.dom.NumCells())
-		for pos, n := range nodes {
-			for y := n.Y0; y <= n.Y1; y++ {
-				for x := n.X0; x <= n.X1; x++ {
-					byCell[y*a.dom.D+x] = pos
-				}
-			}
-		}
-		oue, err := fo.NewOUE(maxInt(2, len(nodes)), a.eps)
-		if err != nil {
-			return nil, nil, err
-		}
-		infos[l] = levelInfo{
-			nodes:   nodes,
-			byCell:  byCell,
-			support: make([]float64, oue.NumCategories()),
-			oracle:  oue,
-		}
+	if a.levels < 2 {
+		return nil, nil, fmt.Errorf("rangequery: %d-level hierarchy has no report scheme", a.levels)
 	}
-
-	// Collect: each user lands on a uniformly random level 1..levels-1
-	// and reports their frontier node there.
-	totalUsers := 0.0
-	for cell, cnt := range truth.Mass {
-		if cnt < 0 || cnt != math.Trunc(cnt) {
-			return nil, nil, fmt.Errorf("rangequery: invalid count %v at cell %d", cnt, cell)
-		}
-		for k := 0; k < int(cnt); k++ {
-			totalUsers++
-			info := &infos[1+r.Intn(levels-1)]
-			bits := info.oracle.PerturbBits(info.byCell[cell], r)
-			if err := info.oracle.AccumulateBits(bits, info.support); err != nil {
-				return nil, nil, err
-			}
-			info.users++
-		}
-	}
+	totalUsers := agg.N
 	if totalUsers == 0 {
 		return nil, nil, fmt.Errorf("rangequery: no users")
+	}
+	tree := BuildQuadtree(grid.NewHist(a.dom)) // structure; values written below
+	levels := a.levels
+
+	// The decode walks the fresh tree's nodes; Frontier order is
+	// deterministic, so fresh frontier position pos corresponds to the
+	// template node a.infos[l].nodes[pos] the supports were counted over.
+	frontiers := make([][]*Node, levels)
+	for l := 1; l < levels; l++ {
+		frontiers[l] = tree.Frontier(l)
 	}
 
 	// Per-level unbiased estimates (count units) with OUE variance
@@ -118,16 +191,17 @@ func (a *AHEAD) EstimateTree(truth *grid.Hist2D, r *rng.RNG) (*Quadtree, *grid.H
 	entries := map[*Node][]estimateEntry{}
 	ee := math.Exp(a.eps)
 	for l := 1; l < levels; l++ {
-		info := &infos[l]
-		if info.users == 0 {
+		info := &a.infos[l]
+		users := agg.Planes[0][l-1]
+		if users == 0 {
 			continue
 		}
-		freqs, err := info.oracle.EstimateBits(info.support, info.users)
+		freqs, err := info.oracle.EstimateBits(agg.Planes[l], users)
 		if err != nil {
 			return nil, nil, err
 		}
-		varCount := 4 * ee / (info.users * (ee - 1) * (ee - 1)) * totalUsers * totalUsers
-		for pos, n := range info.nodes {
+		varCount := 4 * ee / (users * (ee - 1) * (ee - 1)) * totalUsers * totalUsers
+		for pos, n := range frontiers[l] {
 			entries[n] = append(entries[n], estimateEntry{
 				value:    freqs[pos] * totalUsers,
 				variance: varCount,
@@ -243,6 +317,17 @@ func combineTwo(a, av, b, bv float64) (float64, float64) {
 		wa, wb := 1/av, 1/bv
 		return (wa*a + wb*b) / (wa + wb), 1 / (wa + wb)
 	}
+}
+
+// EstimateFromAggregate decodes an accumulated aggregate into the
+// normalised leaf histogram — the estimator stage of the report
+// lifecycle.
+func (a *AHEAD) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	_, leaves, err := a.EstimateTreeFromAggregate(agg)
+	if err != nil {
+		return nil, err
+	}
+	return leaves.Normalize(), nil
 }
 
 // EstimateHist satisfies the harness Estimator contract: it returns the

@@ -22,6 +22,11 @@ type LDPTrace struct {
 	eps        float64
 	lenBuckets int
 	maxLen     int
+	// The three oracles are fixed by (d, ε), so they are built once here
+	// and shared by every report and decode.
+	startOUE *fo.OUE
+	lenGRR   *fo.GRR
+	transOUE *fo.OUE
 }
 
 // NewLDPTrace builds the baseline over the evaluation grid.
@@ -32,7 +37,20 @@ func NewLDPTrace(dom grid.Domain, eps float64, maxLen int) (*LDPTrace, error) {
 	if maxLen < 2 {
 		return nil, fmt.Errorf("trajectory: max length %d too small", maxLen)
 	}
-	return &LDPTrace{dom: dom, eps: eps, lenBuckets: 8, maxLen: maxLen}, nil
+	l := &LDPTrace{dom: dom, eps: eps, lenBuckets: 8, maxLen: maxLen}
+	n := dom.NumCells()
+	epsPart := eps / 3
+	var err error
+	if l.startOUE, err = fo.NewOUE(maxi(2, n), epsPart); err != nil {
+		return nil, err
+	}
+	if l.lenGRR, err = fo.NewGRR(l.lenBuckets, epsPart); err != nil {
+		return nil, err
+	}
+	if l.transOUE, err = fo.NewOUE(maxi(2, n*len(directions)), epsPart); err != nil {
+		return nil, err
+	}
+	return l, nil
 }
 
 // Name returns the mechanism's display name.
@@ -44,82 +62,174 @@ var directions = [8]geom.Cell{
 	{X: -1, Y: 0}, {X: -1, Y: -1}, {X: 0, Y: -1}, {X: 1, Y: -1},
 }
 
+// The aggregate's four planes: the start-cell OUE support, the
+// length-bucket GRR counts, the transition OUE support, and a one-slot
+// counter of users who contributed a usable transition (OUE's estimator
+// needs that sub-population size, and a single shared slot merges across
+// shards like any other count).
+const (
+	ldpPlaneStart = iota
+	ldpPlaneLen
+	ldpPlaneTrans
+	ldpPlaneTransUsers
+)
+
+// Scheme implements fo.Reporter.
+func (l *LDPTrace) Scheme() string {
+	return fmt.Sprintf("trajectory/ldptrace d=%d eps=%g maxlen=%d", l.dom.D, l.eps, l.maxLen)
+}
+
+// NumInputs implements fo.Reporter: grid cells (a cell input reports as
+// a single-point trajectory at the cell centre).
+func (l *LDPTrace) NumInputs() int { return l.dom.NumCells() }
+
+// ReportShape implements fo.Reporter.
+func (l *LDPTrace) ReportShape() []int {
+	return []int{l.startOUE.NumCategories(), l.lenBuckets, l.transOUE.NumCategories(), 1}
+}
+
+// ReportTrajectory encodes one user's full trajectory into an LDP
+// report: ε/3 on the start cell (OUE), ε/3 on the length bucket (GRR),
+// ε/3 on one uniformly sampled transition (OUE) — on the identical draw
+// stream the monolithic Synthesize loop has always consumed.
+func (l *LDPTrace) ReportTrajectory(tr Trajectory, r *rng.RNG) (fo.Report, error) {
+	if len(tr) == 0 {
+		return fo.Report{}, fmt.Errorf("trajectory: empty trajectory has no report")
+	}
+	planes := make([][]int, 4)
+	startCell := l.dom.Index(l.dom.CellOf(tr[0]))
+	planes[ldpPlaneStart] = setBits(l.startOUE.PerturbBits(startCell, r))
+	planes[ldpPlaneLen] = []int{l.lenGRR.Perturb(l.lenBucket(len(tr)), r)}
+	if len(tr) >= 2 {
+		// One uniformly sampled transition per user.
+		i := r.Intn(len(tr) - 1)
+		from := l.dom.CellOf(tr[i])
+		to := l.dom.CellOf(tr[i+1])
+		dir := dirIndex(to.Sub(from))
+		if dir >= 0 {
+			idx := l.dom.Index(from)*len(directions) + dir
+			planes[ldpPlaneTrans] = setBits(l.transOUE.PerturbBits(idx, r))
+			planes[ldpPlaneTransUsers] = []int{0}
+		}
+	}
+	return fo.Report{Planes: planes}, nil
+}
+
+// Report implements fo.Reporter: a grid-cell input reports as the
+// single-point trajectory at that cell's centre.
+func (l *LDPTrace) Report(input int, r *rng.RNG) (fo.Report, error) {
+	if input < 0 || input >= l.dom.NumCells() {
+		return fo.Report{}, fmt.Errorf("trajectory: input cell %d outside [0, %d)", input, l.dom.NumCells())
+	}
+	return l.ReportTrajectory(Trajectory{l.dom.CellCenter(l.dom.CellAt(input))}, r)
+}
+
+// NewAggregate allocates an empty aggregate for this mechanism's reports.
+func (l *LDPTrace) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(l) }
+
+// decodeModel recovers the mobility model (start, length and transition
+// distributions) from an accumulated aggregate.
+func (l *LDPTrace) decodeModel(agg *fo.Aggregate) (startDist, lenDist, transDist []float64, err error) {
+	if err := agg.Compatible(l); err != nil {
+		return nil, nil, nil, fmt.Errorf("trajectory: %w", err)
+	}
+	if agg.N == 0 {
+		return nil, nil, nil, fmt.Errorf("trajectory: all trajectories empty")
+	}
+	startDist, err = l.startOUE.EstimateBits(agg.Planes[ldpPlaneStart], agg.N)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lenDist, err = l.lenGRR.Estimate(agg.Planes[ldpPlaneLen])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	transUsers := agg.Planes[ldpPlaneTransUsers][0]
+	if transUsers > 0 {
+		transDist, err = l.transOUE.EstimateBits(agg.Planes[ldpPlaneTrans], transUsers)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	} else {
+		transDist = make([]float64, l.transOUE.NumCategories())
+	}
+	return startDist, lenDist, transDist, nil
+}
+
+// ldptraceSynthSeed pins EstimateFromAggregate's synthesis stream, so
+// every decoder of the same aggregate derives the same histogram.
+const ldptraceSynthSeed = 0x1d9712ace
+
+// EstimateFromAggregate decodes an accumulated aggregate into the
+// estimated spatial distribution: synthesise one trajectory per absorbed
+// report from the decoded mobility model (on a pinned stream — the
+// aggregate alone determines the output) and bucket the points.
+func (l *LDPTrace) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	startDist, lenDist, transDist, err := l.decodeModel(agg)
+	if err != nil {
+		return nil, err
+	}
+	synth, err := l.sample(int(agg.N), startDist, lenDist, transDist, rng.New(ldptraceSynthSeed))
+	if err != nil {
+		return nil, err
+	}
+	return PointHist(l.dom, synth).Normalize(), nil
+}
+
+// EstimateHist satisfies the harness Estimator contract over a true
+// count histogram: every user reports their cell as a single-point
+// trajectory through the client layer, and the aggregate decodes into
+// the estimated distribution.
+func (l *LDPTrace) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != l.dom.D {
+		return nil, fmt.Errorf("trajectory: histogram d=%d, mechanism d=%d", truth.Dom.D, l.dom.D)
+	}
+	agg := l.NewAggregate()
+	if err := fo.Accumulate(l, agg, truth.Mass, r); err != nil {
+		return nil, err
+	}
+	return l.EstimateFromAggregate(agg)
+}
+
 // Synthesize collects the noisy mobility model from the true trajectories
-// and returns the same number of synthetic trajectories drawn from it.
+// and returns the same number of synthetic trajectories drawn from it. It
+// is a thin wrapper over the report lifecycle — one ReportTrajectory per
+// non-empty trajectory into one aggregate, decoded into the model —
+// with a report stream and output byte-identical to the historical
+// monolithic path.
 func (l *LDPTrace) Synthesize(trajs []Trajectory, r *rng.RNG) ([]Trajectory, error) {
 	if len(trajs) == 0 {
 		return nil, fmt.Errorf("trajectory: no trajectories")
 	}
-	n := l.dom.NumCells()
-	epsPart := l.eps / 3
-
-	startOUE, err := fo.NewOUE(maxi(2, n), epsPart)
-	if err != nil {
-		return nil, err
-	}
-	lenGRR, err := fo.NewGRR(l.lenBuckets, epsPart)
-	if err != nil {
-		return nil, err
-	}
-	transOUE, err := fo.NewOUE(maxi(2, n*len(directions)), epsPart)
-	if err != nil {
-		return nil, err
-	}
-
-	startSupport := make([]float64, startOUE.NumCategories())
-	lenCounts := make([]float64, l.lenBuckets)
-	transSupport := make([]float64, transOUE.NumCategories())
-	users := 0.0
-	transUsers := 0.0
-
+	agg := l.NewAggregate()
 	for _, tr := range trajs {
 		if len(tr) == 0 {
 			continue
 		}
-		users++
-		startCell := l.dom.Index(l.dom.CellOf(tr[0]))
-		if err := startOUE.AccumulateBits(startOUE.PerturbBits(startCell, r), startSupport); err != nil {
-			return nil, err
-		}
-		lenCounts[lenGRR.Perturb(l.lenBucket(len(tr)), r)]++
-		if len(tr) >= 2 {
-			// One uniformly sampled transition per user.
-			i := r.Intn(len(tr) - 1)
-			from := l.dom.CellOf(tr[i])
-			to := l.dom.CellOf(tr[i+1])
-			dir := dirIndex(to.Sub(from))
-			if dir >= 0 {
-				transUsers++
-				idx := l.dom.Index(from)*len(directions) + dir
-				if err := transOUE.AccumulateBits(transOUE.PerturbBits(idx, r), transSupport); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if users == 0 {
-		return nil, fmt.Errorf("trajectory: all trajectories empty")
-	}
-
-	startDist, err := startOUE.EstimateBits(startSupport, users)
-	if err != nil {
-		return nil, err
-	}
-	lenDist, err := lenGRR.Estimate(lenCounts)
-	if err != nil {
-		return nil, err
-	}
-	var transDist []float64
-	if transUsers > 0 {
-		transDist, err = transOUE.EstimateBits(transSupport, transUsers)
+		rep, err := l.ReportTrajectory(tr, r)
 		if err != nil {
 			return nil, err
 		}
-	} else {
-		transDist = make([]float64, transOUE.NumCategories())
+		if err := agg.Add(rep); err != nil {
+			return nil, err
+		}
 	}
-
+	startDist, lenDist, transDist, err := l.decodeModel(agg)
+	if err != nil {
+		return nil, err
+	}
 	return l.sample(len(trajs), startDist, lenDist, transDist, r)
+}
+
+// setBits returns the indices of the set bits of an OUE report.
+func setBits(bits []bool) []int {
+	set := make([]int, 0, 4)
+	for j, b := range bits {
+		if b {
+			set = append(set, j)
+		}
+	}
+	return set
 }
 
 func (l *LDPTrace) sample(count int, startDist, lenDist, transDist []float64, r *rng.RNG) ([]Trajectory, error) {

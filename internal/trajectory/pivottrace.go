@@ -38,46 +38,132 @@ func NewPivotTrace(dom grid.Domain, eps float64, maxPivots int) (*PivotTrace, er
 func (p *PivotTrace) Name() string { return "PivotTrace" }
 
 // Reconstruct perturbs each trajectory's pivots and rebuilds the point
-// sequences from the noisy reports.
+// sequences from the noisy reports. It shares reconstructOne with the
+// report lifecycle, so its draw stream and output are byte-identical to
+// the historical monolithic path.
 func (p *PivotTrace) Reconstruct(trajs []Trajectory, r *rng.RNG) ([]Trajectory, error) {
 	if len(trajs) == 0 {
 		return nil, fmt.Errorf("trajectory: no trajectories")
 	}
-	n := p.dom.NumCells()
 	out := make([]Trajectory, 0, len(trajs))
 	for _, tr := range trajs {
-		if len(tr) == 0 {
-			out = append(out, Trajectory{})
-			continue
+		rec, err := p.reconstructOne(tr, r)
+		if err != nil {
+			return nil, err
 		}
-		pivots := p.selectPivots(tr)
-		perPivot := p.eps / float64(len(pivots))
-		var noisy []geom.Cell
-		if n < 2 {
-			// Degenerate single-cell grid: nothing to randomise.
-			for range pivots {
-				noisy = append(noisy, geom.Cell{})
-			}
-		} else {
-			g, err := fo.NewGRR(n, perPivot)
-			if err != nil {
-				return nil, err
-			}
-			for _, pv := range pivots {
-				noisy = append(noisy, p.dom.CellAt(g.Perturb(p.dom.Index(p.dom.CellOf(pv)), r)))
-			}
-		}
-		// Reconstruct: straight cell walks between consecutive pivots,
-		// stretched to roughly preserve the original length.
-		segLen := (len(tr) + len(pivots) - 2) / maxi(1, len(pivots)-1)
-		rec := Trajectory{}
-		for i := 0; i < len(noisy)-1; i++ {
-			rec = append(rec, p.walk(noisy[i], noisy[i+1], segLen)...)
-		}
-		rec = append(rec, p.dom.CellCenter(noisy[len(noisy)-1]))
 		out = append(out, rec)
 	}
 	return out, nil
+}
+
+// reconstructOne runs the full client-side protocol for one trajectory:
+// perturb the pivots under an even ε split, then walk straight cell
+// paths between the noisy pivots. An empty trajectory reconstructs as
+// empty without consuming randomness.
+func (p *PivotTrace) reconstructOne(tr Trajectory, r *rng.RNG) (Trajectory, error) {
+	if len(tr) == 0 {
+		return Trajectory{}, nil
+	}
+	n := p.dom.NumCells()
+	pivots := p.selectPivots(tr)
+	perPivot := p.eps / float64(len(pivots))
+	var noisy []geom.Cell
+	if n < 2 {
+		// Degenerate single-cell grid: nothing to randomise.
+		for range pivots {
+			noisy = append(noisy, geom.Cell{})
+		}
+	} else {
+		g, err := fo.NewGRR(n, perPivot)
+		if err != nil {
+			return nil, err
+		}
+		for _, pv := range pivots {
+			noisy = append(noisy, p.dom.CellAt(g.Perturb(p.dom.Index(p.dom.CellOf(pv)), r)))
+		}
+	}
+	// Reconstruct: straight cell walks between consecutive pivots,
+	// stretched to roughly preserve the original length.
+	segLen := (len(tr) + len(pivots) - 2) / maxi(1, len(pivots)-1)
+	rec := Trajectory{}
+	for i := 0; i < len(noisy)-1; i++ {
+		rec = append(rec, p.walk(noisy[i], noisy[i+1], segLen)...)
+	}
+	rec = append(rec, p.dom.CellCenter(noisy[len(noisy)-1]))
+	return rec, nil
+}
+
+// Scheme implements fo.Reporter.
+func (p *PivotTrace) Scheme() string {
+	return fmt.Sprintf("trajectory/pivottrace d=%d eps=%g pivots=%d", p.dom.D, p.eps, p.maxPivots)
+}
+
+// NumInputs implements fo.Reporter: grid cells (a cell input reports as
+// a single-point trajectory at the cell centre).
+func (p *PivotTrace) NumInputs() int { return p.dom.NumCells() }
+
+// ReportShape implements fo.Reporter: one plane of d² reconstructed-point
+// counts.
+func (p *PivotTrace) ReportShape() []int { return []int{p.dom.NumCells()} }
+
+// ReportTrajectory encodes one user's full trajectory into an LDP
+// report: the pivots are perturbed and the straight-path reconstruction
+// runs client-side (both depend only on the user's own data and the
+// noisy pivots), and the report lists the grid cell of every
+// reconstructed point. The aggregate is therefore exactly the point
+// histogram of the reconstructed trajectories. An empty trajectory
+// yields an empty report.
+func (p *PivotTrace) ReportTrajectory(tr Trajectory, r *rng.RNG) (fo.Report, error) {
+	rec, err := p.reconstructOne(tr, r)
+	if err != nil {
+		return fo.Report{}, err
+	}
+	idxs := make([]int, 0, len(rec))
+	for _, pt := range rec {
+		idxs = append(idxs, p.dom.Index(p.dom.CellOf(pt)))
+	}
+	return fo.Report{Planes: [][]int{idxs}}, nil
+}
+
+// Report implements fo.Reporter: a grid-cell input reports as the
+// single-point trajectory at that cell's centre.
+func (p *PivotTrace) Report(input int, r *rng.RNG) (fo.Report, error) {
+	if input < 0 || input >= p.dom.NumCells() {
+		return fo.Report{}, fmt.Errorf("trajectory: input cell %d outside [0, %d)", input, p.dom.NumCells())
+	}
+	return p.ReportTrajectory(Trajectory{p.dom.CellCenter(p.dom.CellAt(input))}, r)
+}
+
+// NewAggregate allocates an empty aggregate for this mechanism's reports.
+func (p *PivotTrace) NewAggregate() *fo.Aggregate { return fo.NewAggregateFor(p) }
+
+// EstimateFromAggregate decodes an accumulated aggregate — the point
+// histogram of the client-side reconstructions — into the estimated
+// spatial distribution.
+func (p *PivotTrace) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, error) {
+	if err := agg.Compatible(p); err != nil {
+		return nil, fmt.Errorf("trajectory: %w", err)
+	}
+	h, err := grid.HistFromMass(p.dom, append([]float64(nil), agg.Planes[0]...))
+	if err != nil {
+		return nil, err
+	}
+	return h.Normalize(), nil
+}
+
+// EstimateHist satisfies the harness Estimator contract over a true
+// count histogram: every user reports their cell as a single-point
+// trajectory through the client layer, and the aggregate decodes into
+// the estimated distribution.
+func (p *PivotTrace) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, error) {
+	if truth.Dom.D != p.dom.D {
+		return nil, fmt.Errorf("trajectory: histogram d=%d, mechanism d=%d", truth.Dom.D, p.dom.D)
+	}
+	agg := p.NewAggregate()
+	if err := fo.Accumulate(p, agg, truth.Mass, r); err != nil {
+		return nil, err
+	}
+	return p.EstimateFromAggregate(agg)
 }
 
 // selectPivots returns up to maxPivots points including both endpoints,

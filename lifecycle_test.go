@@ -11,9 +11,10 @@ import (
 	"dpspatial/internal/collector"
 )
 
-// lifecycleMechanisms builds one mechanism per family on a small grid.
-// SEM-Geo-I is constructed directly from a Geo-I budget so the tests do
-// not pay for local-privacy calibration.
+// lifecycleMechanisms builds one mechanism per family on a small grid —
+// every family, now that the baselines and range/trajectory mechanisms
+// ride the same report lifecycle. SEM-Geo-I is constructed directly from
+// a Geo-I budget so the tests do not pay for local-privacy calibration.
 func lifecycleMechanisms(t *testing.T) (Domain, map[string]ReportingMechanism) {
 	t.Helper()
 	dom, err := NewDomain(0, 0, 1, 6)
@@ -22,10 +23,15 @@ func lifecycleMechanisms(t *testing.T) (Domain, map[string]ReportingMechanism) {
 	}
 	mechs := map[string]ReportingMechanism{}
 	for name, build := range map[string]func() (Mechanism, error){
-		"DAM":       func() (Mechanism, error) { return NewDAM(dom, 1.5) },
-		"HUEM":      func() (Mechanism, error) { return NewHUEM(dom, 1.5) },
-		"MDSW":      func() (Mechanism, error) { return NewMDSW(dom, 1.5) },
-		"SEM-Geo-I": func() (Mechanism, error) { return NewSEMGeoI(dom, 1.2) },
+		"DAM":           func() (Mechanism, error) { return NewDAM(dom, 1.5) },
+		"HUEM":          func() (Mechanism, error) { return NewHUEM(dom, 1.5) },
+		"MDSW":          func() (Mechanism, error) { return NewMDSW(dom, 1.5) },
+		"SEM-Geo-I":     func() (Mechanism, error) { return NewSEMGeoI(dom, 1.2) },
+		"CFO":           func() (Mechanism, error) { return NewCFO(dom, 1.5) },
+		"PlanarLaplace": func() (Mechanism, error) { return NewPlanarLaplace(dom, 1.2) },
+		"AHEAD":         func() (Mechanism, error) { return NewAHEAD(dom, 1.5) },
+		"LDPTrace":      func() (Mechanism, error) { return NewLDPTrace(dom, 1.5, LDPTraceMaxLen) },
+		"PivotTrace":    func() (Mechanism, error) { return NewPivotTrace(dom, 1.5, PivotTraceMaxPivots) },
 	} {
 		m, err := build()
 		if err != nil {
@@ -128,6 +134,94 @@ func TestAggregateMergeLaws(t *testing.T) {
 	}
 }
 
+// TestAHEADShardMergeByLevel splits one AHEAD report stream into shards
+// BY HIERARCHY LEVEL — each shard holds only the reports that landed on
+// one level, so every shard populates a different support plane, the most
+// lopsided plane mix a fleet can produce — and checks that merging the
+// shards through the binary wire format still reproduces the single-shard
+// aggregate and its decode bit for bit.
+func TestAHEADShardMergeByLevel(t *testing.T) {
+	dom, err := NewDomain(0, 0, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAHEAD(dom, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := AsReporting(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lifecycleTruth(dom)
+	r := NewRand(41)
+	single := rm.NewAggregate()
+	byLevel := map[int]*Aggregate{}
+	for i, c := range truth.Mass {
+		for k := 0; k < int(c); k++ {
+			rep, err := rm.Report(i, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Add(rep); err != nil {
+				t.Fatal(err)
+			}
+			// Plane 0 records which hierarchy level the user landed on.
+			lvl := rep.Planes[0][0]
+			sh := byLevel[lvl]
+			if sh == nil {
+				sh = rm.NewAggregate()
+				byLevel[lvl] = sh
+			}
+			if err := sh.Add(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(byLevel) < 2 {
+		t.Fatalf("report stream landed on %d levels, need >= 2 for a mixed-plane merge", len(byLevel))
+	}
+
+	// Merge in descending level order, round-tripping every shard through
+	// the DPA binary wire format first — the path fleet members ship on.
+	var merged *Aggregate
+	for lvl := len(rm.ReportShape()); lvl >= 0; lvl-- {
+		sh, ok := byLevel[lvl]
+		if !ok {
+			continue
+		}
+		blob, err := sh.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire := &Aggregate{}
+		if err := wire.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		if merged == nil {
+			merged = wire
+			continue
+		}
+		if err := merged.Merge(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(merged, single) {
+		t.Fatal("by-level shard merge differs from single-shard aggregation")
+	}
+	a, err := rm.EstimateFromAggregate(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rm.EstimateFromAggregate(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Mass, b.Mass) {
+		t.Fatal("by-level merged aggregate decodes differently than the single-shard aggregate")
+	}
+}
+
 // TestAggregateSerializationRoundTrip checks that every mechanism
 // family's aggregate survives binary and JSON transport bit-identically.
 func TestAggregateSerializationRoundTrip(t *testing.T) {
@@ -223,7 +317,7 @@ func TestEstimateFromAggregateRejectsForeignAggregate(t *testing.T) {
 	if err := AccumulateHist(mechs["DAM"], damAgg, truth, NewRand(3)); err != nil {
 		t.Fatal(err)
 	}
-	for _, other := range []string{"HUEM", "MDSW", "SEM-Geo-I"} {
+	for _, other := range []string{"HUEM", "MDSW", "SEM-Geo-I", "CFO", "PlanarLaplace", "AHEAD", "LDPTrace", "PivotTrace"} {
 		if _, err := mechs[other].EstimateFromAggregate(damAgg); err == nil {
 			t.Fatalf("%s accepted a DAM aggregate", other)
 		}
