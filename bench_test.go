@@ -20,9 +20,11 @@ import (
 	"dpspatial/internal/collector"
 	"dpspatial/internal/em"
 	"dpspatial/internal/experiments"
+	"dpspatial/internal/fo"
 	"dpspatial/internal/lp"
 	"dpspatial/internal/rng"
 	"dpspatial/internal/sam"
+	"dpspatial/internal/semgeoi"
 	"dpspatial/internal/transport"
 )
 
@@ -278,12 +280,13 @@ func BenchmarkEMEstimate(b *testing.B) {
 	}
 }
 
-// BenchmarkEMEstimateDense is the same decode through the dense channel
-// matrix — the pre-structured-kernel baseline the ≥5× win is measured
-// against.
-func BenchmarkEMEstimateDense(b *testing.B) {
-	dom := benchDomain(b, 15)
-	m, err := sam.NewDAM(dom, 3.5)
+// semGeoIDecodeWorkload builds the SEM-Geo-I mechanism at side d with a
+// deterministic count vector — the shared workload of the dense-channel
+// EM benchmarks below.
+func semGeoIDecodeWorkload(b *testing.B, d int) (*semgeoi.Mechanism, []float64) {
+	b.Helper()
+	dom := benchDomain(b, d)
+	m, err := semgeoi.New(dom, 2.0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -292,6 +295,30 @@ func BenchmarkEMEstimateDense(b *testing.B) {
 	for i := range counts {
 		counts[i] = float64(r.Intn(100))
 	}
+	return m, counts
+}
+
+// BenchmarkEMEstimateDense measures the dense-channel-family decode
+// (SEM-Geo-I at d=15) through the mechanism's operative channel — the
+// convolutional Toeplitz/FFT representation when calibration admits it.
+// Before the convolutional engine this decode ran O(d⁴) per EM sweep on
+// the materialised matrix; the spectral path is O(d² log d).
+func BenchmarkEMEstimateDense(b *testing.B) {
+	m, counts := semGeoIDecodeWorkload(b, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Estimate(m.Linear(), counts, &em.Options{MaxIter: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMEstimateDenseMaterialized is the same decode through the
+// materialised dense matrix — the pre-convolutional baseline the
+// BenchmarkEMEstimateDense speedup is measured against.
+func BenchmarkEMEstimateDenseMaterialized(b *testing.B) {
+	m, counts := semGeoIDecodeWorkload(b, 15)
 	dense := m.Channel()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -302,11 +329,41 @@ func BenchmarkEMEstimateDense(b *testing.B) {
 	}
 }
 
-// BenchmarkEMEstimateLargeD measures the structured decode at the
-// paper's large-domain setting (d=40, so In=1600): the regime where the
-// dense matrix alone would be In·Out ≈ 4M float64s and every EM
-// iteration O(d⁴).
+// BenchmarkEMEstimateLargeD measures the dense-channel-family decode at
+// the paper's large-domain setting (SEM-Geo-I at d=40, so In=1600): the
+// regime where the dense matrix alone is In·Out ≈ 2.6M float64s and every
+// EM iteration O(d⁴) — the last dense-decode gap the convolutional
+// engine closes.
 func BenchmarkEMEstimateLargeD(b *testing.B) {
+	m, counts := semGeoIDecodeWorkload(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Estimate(m.Linear(), counts, &em.Options{MaxIter: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMEstimateLargeDMaterialized is the d=40 decode through the
+// materialised dense matrix — the pre-convolutional baseline the
+// BenchmarkEMEstimateLargeD speedup is measured against.
+func BenchmarkEMEstimateLargeDMaterialized(b *testing.B) {
+	m, counts := semGeoIDecodeWorkload(b, 40)
+	dense := m.Channel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Estimate(dense, counts, &em.Options{MaxIter: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMEstimateStructuredLargeD measures the uniform-plus-sparse
+// structured decode at d=40 (DAM's channel) — the workload the
+// pre-PR-7 BenchmarkEMEstimateLargeD timed, kept for series continuity.
+func BenchmarkEMEstimateStructuredLargeD(b *testing.B) {
 	dom := benchDomain(b, 40)
 	m, err := sam.NewDAM(dom, 3.5)
 	if err != nil {
@@ -323,6 +380,73 @@ func BenchmarkEMEstimateLargeD(b *testing.B) {
 		if _, err := em.Estimate(m.Linear(), counts, &em.Options{MaxIter: 100}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Channel-sweep micro-benchmarks: one Forward application per
+// representation, on same-size d=40 workloads, so the dense-vs-structured
+// ratio is read directly off adjacent ns/op lines ---
+
+func sweepDist(n int) []float64 {
+	p := make([]float64, n)
+	r := rng.New(11)
+	sum := 0.0
+	for i := range p {
+		p[i] = r.Float64() + 0.01
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// BenchmarkChannelForwardDense sweeps the materialised SEM-Geo-I d=40
+// matrix once: the O(d⁴) baseline row of the representation comparison.
+func BenchmarkChannelForwardDense(b *testing.B) {
+	m, _ := semGeoIDecodeWorkload(b, 40)
+	dense := m.Channel()
+	p := sweepDist(m.NumInputs())
+	out := make([]float64, m.NumOutputs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.Forward(p, out)
+	}
+}
+
+// BenchmarkChannelForwardConv sweeps the same SEM-Geo-I d=40 channel in
+// its convolutional representation: one O(d² log d) FFT convolution.
+func BenchmarkChannelForwardConv(b *testing.B) {
+	m, _ := semGeoIDecodeWorkload(b, 40)
+	conv, ok := m.Linear().(*fo.ConvChannel)
+	if !ok {
+		b.Fatalf("channel is %T, want *fo.ConvChannel", m.Linear())
+	}
+	p := sweepDist(m.NumInputs())
+	out := make([]float64, m.NumOutputs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(p, out)
+	}
+}
+
+// BenchmarkChannelForwardUniformSparse sweeps DAM's uniform-plus-sparse
+// d=40 channel once: the O(n + nnz) structured row of the comparison.
+func BenchmarkChannelForwardUniformSparse(b *testing.B) {
+	dom := benchDomain(b, 40)
+	m, err := sam.NewDAM(dom, 3.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sweepDist(m.NumInputs())
+	out := make([]float64, m.NumOutputs())
+	lin := m.Linear()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin.Forward(p, out)
 	}
 }
 

@@ -22,49 +22,118 @@ import (
 // the standard midpoint discretisation, accurate to O(g²) and exact in
 // the limit of fine grids.
 type PlanarLaplace struct {
-	dom     grid.Domain
-	epsGeo  float64
-	channel *fo.Channel
+	dom    grid.Domain
+	epsGeo float64
+	state  *plState // shared channel state, memoized per (grid, ε)
+}
+
+// plState is the channel state shared by every PlanarLaplace instance
+// with the same grid and budget: the channel (convolutional on the fast
+// path, dense fallback), the per-row normalisers, the lazily-built alias
+// samplers and the lazily-materialised dense matrix. All fields are
+// built once and read-only afterwards, so sharing across mechanisms —
+// and across goroutines — is safe.
+type plState struct {
+	channel fo.LinearChannel
 	norms   []float64 // per-row pre-normalisation mass Z_i
 
 	samplersOnce sync.Once
 	samplers     []*rng.Alias
 	samplersErr  error
+
+	denseOnce sync.Once
+	dense     *fo.Channel
 }
 
+// plKey identifies one memoized channel build (grid.Domain is a small
+// comparable value type).
+type plKey struct {
+	dom grid.Domain
+	eps float64
+}
+
+var (
+	plMu   sync.Mutex
+	plMemo = map[plKey]*plState{}
+)
+
 // NewPlanarLaplace builds the mechanism with per-cell-unit budget
-// epsGeo > 0.
+// epsGeo > 0. The O(n²)-to-build channel is memoized per (grid, ε) —
+// the same sync.Once-style caching CalibrateSEMGeoI uses — so repeated
+// constructions (per-trial in the experiment harness, per-generation at
+// the collector) reuse one shared, immutable channel.
 func NewPlanarLaplace(dom grid.Domain, epsGeo float64) (*PlanarLaplace, error) {
 	if epsGeo <= 0 || math.IsNaN(epsGeo) || math.IsInf(epsGeo, 0) {
 		return nil, fmt.Errorf("baselines: invalid epsilon %v", epsGeo)
 	}
-	p := &PlanarLaplace{dom: dom, epsGeo: epsGeo}
-	p.buildChannel()
-	if err := p.channel.Validate(); err != nil {
-		return nil, fmt.Errorf("baselines: internal channel invalid: %w", err)
+	key := plKey{dom: dom, eps: epsGeo}
+	plMu.Lock()
+	state, ok := plMemo[key]
+	plMu.Unlock()
+	if !ok {
+		state = buildPLState(dom, epsGeo)
+		if err := fo.ValidateLinear(state.channel); err != nil {
+			return nil, fmt.Errorf("baselines: internal channel invalid: %w", err)
+		}
+		plMu.Lock()
+		if prior, raced := plMemo[key]; raced {
+			state = prior // a concurrent build won; adopt it
+		} else {
+			plMemo[key] = state
+		}
+		plMu.Unlock()
 	}
-	return p, nil
+	return &PlanarLaplace{dom: dom, epsGeo: epsGeo, state: state}, nil
 }
 
-func (p *PlanarLaplace) buildChannel() {
-	n := p.dom.NumCells()
-	ch := fo.NewChannel(n, n)
-	p.norms = make([]float64, n)
-	for i := 0; i < n; i++ {
-		ci := p.dom.CellAt(i)
-		row := ch.Row(i)
+// buildPLState constructs the channel. The planar-Laplace kernel
+// exp(−ε·dis) depends only on the cell displacement — grid borders
+// change only the per-row normaliser Z_i — so the convolutional channel
+// applies, with a calibration spot check on corner/edge/centre rows
+// guarding the bit-exactness of its rows against the definitional dense
+// build; any mismatch falls back to the exact O(n²) construction.
+func buildPLState(dom grid.Domain, epsGeo float64) *plState {
+	d := dom.D
+	exactRow := func(i int, row []float64) float64 {
+		ci := dom.CellAt(i)
 		sum := 0.0
-		for j := 0; j < n; j++ {
-			w := math.Exp(-p.epsGeo * ci.CenterDist(p.dom.CellAt(j)))
+		for j := range row {
+			w := math.Exp(-epsGeo * ci.CenterDist(dom.CellAt(j)))
 			row[j] = w
 			sum += w
 		}
-		p.norms[i] = sum
 		for j := range row {
 			row[j] /= sum
 		}
+		return sum
 	}
-	p.channel = ch
+	kern := fo.DisplacementKernel(d, func(dx, dy int) float64 {
+		return math.Exp(-epsGeo * math.Hypot(float64(dx), float64(dy)))
+	})
+	if conv, err := fo.NewConvChannel(d, kern, nil); err == nil &&
+		conv.Calibrated(func(i int, row []float64) { exactRow(i, row) }, plProbes(d), 0) {
+		return &plState{channel: conv, norms: conv.Normalizers()}
+	}
+	n := dom.NumCells()
+	ch := fo.NewChannel(n, n)
+	norms := make([]float64, n)
+	for i := 0; i < n; i++ {
+		norms[i] = exactRow(i, ch.Row(i))
+	}
+	return &plState{channel: ch, norms: norms}
+}
+
+// plProbes picks the calibration rows: corners, edge midpoints, centre.
+func plProbes(d int) []int {
+	n := d * d
+	return []int{
+		0, d - 1, n - d, n - 1,
+		d / 2,
+		(d / 2) * d,
+		(d/2)*d + d - 1,
+		n - d + d/2,
+		(d/2)*d + d/2,
+	}
 }
 
 // Name returns the mechanism's display name.
@@ -73,12 +142,30 @@ func (p *PlanarLaplace) Name() string { return "PlanarLaplace" }
 // EpsilonGeo returns the per-cell-unit Geo-I budget.
 func (p *PlanarLaplace) EpsilonGeo() float64 { return p.epsGeo }
 
-// Channel exposes the discretised cell channel.
-func (p *PlanarLaplace) Channel() *fo.Channel { return p.channel }
+// Channel exposes the discretised cell channel as a dense matrix,
+// materialised lazily (and bit-identically to the historical dense
+// build) when the mechanism runs on the convolutional fast path.
+// Callers that only sweep should prefer Linear.
+func (p *PlanarLaplace) Channel() *fo.Channel {
+	s := p.state
+	s.denseOnce.Do(func() {
+		switch ch := s.channel.(type) {
+		case *fo.Channel:
+			s.dense = ch
+		case *fo.ConvChannel:
+			s.dense = ch.Dense()
+		}
+	})
+	return s.dense
+}
+
+// Linear exposes the channel in its operative representation — the
+// convolutional form when calibration admitted it, dense otherwise.
+func (p *PlanarLaplace) Linear() fo.LinearChannel { return p.state.channel }
 
 // Perturb randomises one cell index through the discretised channel.
 func (p *PlanarLaplace) Perturb(input int, r *rng.RNG) int {
-	return rng.WeightedChoice(r, p.channel.Row(input))
+	return rng.WeightedChoice(r, p.state.channel.Row(input))
 }
 
 // SampleContinuous draws a continuous planar-Laplace perturbation of a
@@ -122,10 +209,11 @@ func inverseGammaCDF(u, eps float64) float64 {
 // from the validated channel rows, so draws are bit-identical to the
 // per-call tables'. The returned slice is shared; treat it as read-only.
 func (p *PlanarLaplace) Samplers() ([]*rng.Alias, error) {
-	p.samplersOnce.Do(func() {
-		p.samplers, p.samplersErr = p.channel.Samplers()
+	s := p.state
+	s.samplersOnce.Do(func() {
+		s.samplers, s.samplersErr = fo.LinearSamplers(s.channel)
 	})
-	return p.samplers, p.samplersErr
+	return s.samplers, s.samplersErr
 }
 
 // Scheme implements fo.Reporter: the report format is the discretised
@@ -164,7 +252,7 @@ func (p *PlanarLaplace) EstimateFromAggregate(agg *fo.Aggregate) (*grid.Hist2D, 
 	if err := agg.Compatible(p); err != nil {
 		return nil, fmt.Errorf("baselines: %w", err)
 	}
-	est, err := em.Estimate(p.channel, agg.Planes[0], nil)
+	est, err := em.Estimate(p.state.channel, agg.Planes[0], nil)
 	if err != nil {
 		return nil, err
 	}
@@ -195,12 +283,14 @@ func (p *PlanarLaplace) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist
 // exactly the truncation caveat Andrés et al. note.
 func (p *PlanarLaplace) GeoIRatioHolds(tol float64) bool {
 	n := p.dom.NumCells()
+	norms := p.state.norms
+	ch := p.Channel()
 	for i1 := 0; i1 < n; i1++ {
 		for i2 := i1 + 1; i2 < n; i2++ {
-			normRatio := math.Max(p.norms[i1]/p.norms[i2], p.norms[i2]/p.norms[i1])
+			normRatio := math.Max(norms[i1]/norms[i2], norms[i2]/norms[i1])
 			bound := math.Exp(p.epsGeo*p.dom.CellAt(i1).CenterDist(p.dom.CellAt(i2))) * normRatio
 			for j := 0; j < n; j++ {
-				q1, q2 := p.channel.At(i1, j), p.channel.At(i2, j)
+				q1, q2 := ch.At(i1, j), ch.At(i2, j)
 				if q1 == 0 || q2 == 0 {
 					return false
 				}

@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"dpspatial/internal/em"
+	"dpspatial/internal/fo"
+	"dpspatial/internal/rng"
+)
+
+// TestPlanarLaplaceUsesConvRepresentation: the Laplace kernel is
+// displacement-invariant, so calibration must admit the convolutional
+// fast path.
+func TestPlanarLaplaceUsesConvRepresentation(t *testing.T) {
+	p, err := NewPlanarLaplace(testDomain(t, 6), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Linear().(*fo.ConvChannel); !ok {
+		t.Errorf("channel is %T, want *fo.ConvChannel", p.Linear())
+	}
+}
+
+// TestPlanarLaplaceChannelMemoized: two mechanisms on the same (grid, ε)
+// share one channel build; a different ε gets its own.
+func TestPlanarLaplaceChannelMemoized(t *testing.T) {
+	dom := testDomain(t, 5)
+	a, err := NewPlanarLaplace(dom, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlanarLaplace(dom, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.state != b.state {
+		t.Error("same (grid, ε) did not share the memoized channel state")
+	}
+	sa, err := a.Samplers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Samplers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("memoized mechanisms built distinct sampler tables")
+		}
+	}
+	c, err := NewPlanarLaplace(dom, 1.26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.state == a.state {
+		t.Error("different ε shared a channel state")
+	}
+}
+
+// TestPlanarLaplaceConvDecodeMatchesDense: the FFT decode agrees with
+// the exact dense decode to ≤ 1e-9, and the conv rows are bit-identical
+// to the dense matrix.
+func TestPlanarLaplaceConvDecodeMatchesDense(t *testing.T) {
+	p, err := NewPlanarLaplace(testDomain(t, 7), 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := p.Linear()
+	dense := p.Channel()
+	for i := 0; i < p.NumInputs(); i++ {
+		dr := dense.Row(i)
+		cr := lin.Row(i)
+		for j := range dr {
+			if dr[j] != cr[j] {
+				t.Fatalf("row %d entry %d differs in bits", i, j)
+			}
+		}
+	}
+	r := rng.New(55)
+	counts := make([]float64, p.NumInputs())
+	for j := range counts {
+		counts[j] = float64(r.Intn(25))
+	}
+	counts[3] = 7
+	got, err := em.Estimate(lin, counts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := em.Estimate(dense, counts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9 {
+			t.Fatalf("decode differs from dense by %g at %d", d, i)
+		}
+	}
+}

@@ -127,7 +127,14 @@ func EstimateWithStats(ch fo.LinearChannel, counts []float64, opts *Options) ([]
 	}
 
 	var step func(p, next []float64)
-	if bc, ok := ch.(fo.BlockChannel); ok && o.Workers > 1 && in > 1 {
+	if _, ok := ch.(*fo.ConvChannel); ok {
+		// The convolutional channel's Forward/Backward are already global
+		// O(n log n) FFT sweeps; handing it to the row-block engine would
+		// re-run a full transform once per 256-row block. The global
+		// sweeps contain no scheduling-dependent reduction, so the
+		// estimate is byte-identical for every Options.Workers value.
+		step = linearStepper(ch, counts, total)
+	} else if bc, ok := ch.(fo.BlockChannel); ok && o.Workers > 1 && in > 1 {
 		step = parallelStepper(bc, counts, total, o.Workers)
 	} else if dense, ok := ch.(*fo.Channel); ok {
 		step = denseStepper(dense, counts, total)

@@ -1,0 +1,276 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT computes the unscaled forward DFT by the O(n²) definition.
+func naiveDFT(re, im []float64) ([]float64, []float64) {
+	n := len(re)
+	outRe := make([]float64, n)
+	outIm := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var sr, si float64
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			sr += re[j]*c - im[j]*s
+			si += re[j]*s + im[j]*c
+		}
+		outRe[k] = sr
+		outIm[k] = si
+	}
+	return outRe, outIm
+}
+
+func maxAbs(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPlanMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		wantRe, wantIm := naiveDFT(re, im)
+		p.Forward(re, im)
+		if d := maxAbs(re, wantRe); d > 1e-10 {
+			t.Errorf("n=%d: forward re deviates by %g", n, d)
+		}
+		if d := maxAbs(im, wantIm); d > 1e-10 {
+			t.Errorf("n=%d: forward im deviates by %g", n, d)
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 8, 32, 256} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		origRe := make([]float64, n)
+		origIm := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+			origRe[i] = re[i]
+			origIm[i] = im[i]
+		}
+		p.Forward(re, im)
+		p.Inverse(re, im)
+		if d := maxAbs(re, origRe); d > 1e-12 {
+			t.Errorf("n=%d: round-trip re deviates by %g", n, d)
+		}
+		if d := maxAbs(im, origIm); d > 1e-12 {
+			t.Errorf("n=%d: round-trip im deviates by %g", n, d)
+		}
+	}
+}
+
+func TestPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 12, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	p1, _ := NewPlan(n)
+	p2, _ := NewPlan(n)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		im[i] = rng.NormFloat64()
+	}
+	r1 := append([]float64(nil), re...)
+	i1 := append([]float64(nil), im...)
+	r2 := append([]float64(nil), re...)
+	i2 := append([]float64(nil), im...)
+	p1.Forward(r1, i1)
+	p2.Forward(r2, i2)
+	for i := range r1 {
+		if r1[i] != r2[i] || i1[i] != i2[i] {
+			t.Fatalf("two plans disagree bit-for-bit at %d", i)
+		}
+	}
+}
+
+// naiveConv computes the circular convolution or correlation directly.
+func naiveConv(n int, src, kernel []float64, correlate bool) []float64 {
+	out := make([]float64, n*n)
+	for cy := 0; cy < n; cy++ {
+		for cx := 0; cx < n; cx++ {
+			var sum float64
+			for sy := 0; sy < n; sy++ {
+				for sx := 0; sx < n; sx++ {
+					var ky, kx int
+					if correlate {
+						ky, kx = (sy-cy+n)%n, (sx-cx+n)%n
+					} else {
+						ky, kx = (cy-sy+n)%n, (cx-sx+n)%n
+					}
+					sum += src[sy*n+sx] * kernel[ky*n+kx]
+				}
+			}
+			out[cy*n+cx] = sum
+		}
+	}
+	return out
+}
+
+func TestRealConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for _, correlate := range []bool{false, true} {
+			kernel := make([]float64, n*n)
+			src := make([]float64, n*n)
+			for i := range kernel {
+				kernel[i] = rng.Float64()
+				src[i] = rng.Float64()
+			}
+			c, err := NewRealConv2D(n, kernel)
+			if err != nil {
+				t.Fatalf("NewRealConv2D(%d): %v", n, err)
+			}
+			want := naiveConv(n, src, kernel, correlate)
+			got := make([]float64, n*n)
+			c.Apply(src, got, n, c.NewScratch(), correlate)
+			if d := maxAbs(got, want); d > 1e-10 {
+				t.Errorf("n=%d correlate=%v: conv deviates by %g", n, correlate, d)
+			}
+		}
+	}
+}
+
+func TestRealConv2DEvenKernel(t *testing.T) {
+	// An even kernel (k(-t) = k(t) circularly) makes convolution equal
+	// correlation; the convolver should detect it and still be exact.
+	rng := rand.New(rand.NewSource(13))
+	n := 16
+	kernel := make([]float64, n*n)
+	for y := 0; y <= n/2; y++ {
+		for x := 0; x <= n/2; x++ {
+			v := rng.Float64()
+			kernel[y*n+x] = v
+			kernel[((n-y)%n)*n+(n-x)%n] = v
+			kernel[y*n+(n-x)%n] = v
+			kernel[((n-y)%n)*n+x] = v
+		}
+	}
+	c, err := NewRealConv2D(n, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.even {
+		t.Fatal("even kernel not detected")
+	}
+	src := make([]float64, n*n)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	want := naiveConv(n, src, kernel, false)
+	got := make([]float64, n*n)
+	c.Apply(src, got, n, c.NewScratch(), false)
+	if d := maxAbs(got, want); d > 1e-10 {
+		t.Errorf("even-kernel conv deviates by %g", d)
+	}
+	// Correlation must give the same answer for an even kernel.
+	got2 := make([]float64, n*n)
+	c.Apply(src, got2, n, c.NewScratch(), true)
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatal("even-kernel conv and correlation differ")
+		}
+	}
+}
+
+func TestRealConv2DRowPruning(t *testing.T) {
+	// With rows=r, src rows ≥ r must be ignored and dst rows [0, r)
+	// must match the full transform of the zero-padded input.
+	rng := rand.New(rand.NewSource(17))
+	n := 16
+	for _, rows := range []int{1, 3, 7, 10, 16} {
+		kernel := make([]float64, n*n)
+		src := make([]float64, n*n)
+		for i := range kernel {
+			kernel[i] = rng.Float64()
+			src[i] = rng.NormFloat64() // garbage beyond rows must be ignored
+		}
+		padded := make([]float64, n*n)
+		copy(padded, src[:rows*n])
+		want := naiveConv(n, padded, kernel, false)
+		c, err := NewRealConv2D(n, kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n*n)
+		c.Apply(src, got, rows, c.NewScratch(), false)
+		if d := maxAbs(got[:rows*n], want[:rows*n]); d > 1e-10 {
+			t.Errorf("rows=%d: pruned conv deviates by %g", rows, d)
+		}
+	}
+}
+
+func TestRealConv2DScratchReuse(t *testing.T) {
+	// A scratch carries no state between calls: the second Apply with
+	// the same input must reproduce the first bit-for-bit, even after a
+	// different intervening workload.
+	rng := rand.New(rand.NewSource(19))
+	n := 8
+	kernel := make([]float64, n*n)
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range kernel {
+		kernel[i] = rng.Float64()
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	c, err := NewRealConv2D(n, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.NewScratch()
+	first := make([]float64, n*n)
+	c.Apply(a, first, n, s, false)
+	c.Apply(b, make([]float64, n*n), 5, s, true)
+	again := make([]float64, n*n)
+	c.Apply(a, again, n, s, false)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("scratch reuse changed output at %d", i)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 79: 128, 128: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

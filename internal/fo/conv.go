@@ -1,0 +1,462 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dpspatial/internal/fft"
+	"dpspatial/internal/rng"
+)
+
+// ConvChannel is the convolutional form of a dense channel over a d×d
+// grid whose kernel depends only on the cell displacement: a
+// block-Toeplitz-with-Toeplitz-blocks matrix factored as
+//
+//	M = diag(1/z_i) · K,   K[i,j] = kern(c_j − c_i),
+//
+// where kern is the (2d−1)×(2d−1) displacement table and z_i is the
+// per-row normaliser Σ_j kern(c_j − c_i). The displacement part K is
+// exactly translation-invariant everywhere — including the grid borders,
+// where only the normaliser z_i changes — so both EM sweeps reduce to one
+// circular 2-D convolution on the grid embedded in the next
+// power-of-two ≥ 2d−1 circulant:
+//
+//	Forward:  out = Mᵀp = K·(p/z)        (kern is even: Kᵀ = K)
+//	Backward: out = (K⋆w)/z              (⋆ = correlation)
+//
+// at O(n log n) per sweep instead of the dense O(n²), with the kernel's
+// FFT precomputed once at construction.
+//
+// Rows that do not follow the kernel (exotic per-cell adjustments) are
+// carried by a sparse override layer in the same CSR absolute-value form
+// as UniformSparse: each override replaces one base entry, and the sweeps
+// add the p_i·(val − base_ij) / (val − base_ij)·w_j corrections after the
+// convolution. Row materialisation reproduces the exact dense matrix bit
+// for bit: base entries are kern(off)/z_i with z_i accumulated in the
+// same row-major order as a dense row-sum, so alias samplers built from
+// Row are byte-identical to the dense channel's.
+//
+// A ConvChannel is safe for concurrent sweeps: per-call working memory
+// comes from an internal pool, and all construction-time state is
+// read-only afterwards.
+type ConvChannel struct {
+	d, n int // grid side d; n = d² inputs = outputs
+	fftN int // circulant side, NextPow2(2d−1)
+	kern []float64
+	z    []float64
+	conv *fft.RealConv2D
+	pool sync.Pool
+
+	// Sparse override layer (CSR over input rows, absolute values).
+	rowStart []int
+	idx      []int32
+	val      []float64
+	dval     []float64 // val − base entry: the sweep correction
+}
+
+var _ BlockChannel = (*ConvChannel)(nil)
+
+// ConvOverride replaces the base entry at (Row, Col) with the absolute
+// probability Val.
+type ConvOverride struct {
+	Row, Col int
+	Val      float64
+}
+
+// convScratch is one sweep's working memory.
+type convScratch struct {
+	buf []float64 // fftN×fftN embedding (convolved in place)
+	fs  *fft.ConvScratch
+}
+
+// DisplacementKernel tabulates f over every displacement (dx, dy) ∈
+// [−(d−1), d−1]², in the (2d−1)×(2d−1) row-major layout NewConvChannel
+// expects (centre at (d−1, d−1)).
+func DisplacementKernel(d int, f func(dx, dy int) float64) []float64 {
+	w := 2*d - 1
+	kern := make([]float64, w*w)
+	for dy := -(d - 1); dy <= d-1; dy++ {
+		for dx := -(d - 1); dx <= d-1; dx++ {
+			kern[(dy+d-1)*w+(dx+d-1)] = f(dx, dy)
+		}
+	}
+	return kern
+}
+
+// NewConvChannel builds the convolutional channel for a d×d grid from the
+// (2d−1)×(2d−1) displacement table kern (see DisplacementKernel), plus
+// optional per-entry overrides. kern values must be non-negative and
+// finite, and every row — base entries kern/z_i with overrides applied —
+// must remain a probability distribution (checked by Validate).
+func NewConvChannel(d int, kern []float64, overrides []ConvOverride) (*ConvChannel, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("fo: conv channel needs a positive grid side, got %d", d)
+	}
+	w := 2*d - 1
+	if len(kern) != w*w {
+		return nil, fmt.Errorf("fo: conv channel kernel has %d entries, want %d for d=%d", len(kern), w*w, d)
+	}
+	for _, v := range kern {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("fo: conv channel kernel has invalid entry %v", v)
+		}
+	}
+	n := d * d
+	c := &ConvChannel{d: d, n: n, fftN: fft.NextPow2(w), kern: kern}
+
+	// Per-row normalisers, accumulated in row-major output order — the
+	// exact addend sequence of a dense row construction, so z (and hence
+	// Row) is bit-identical to the dense build it replaces.
+	c.z = make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi, yi := i%d, i/d
+		sum := 0.0
+		for yj := 0; yj < d; yj++ {
+			seg := kern[(yj-yi+d-1)*w+(0-xi+d-1):]
+			for xj := 0; xj < d; xj++ {
+				sum += seg[xj]
+			}
+		}
+		if sum <= 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+			return nil, fmt.Errorf("fo: conv channel row %d has invalid normaliser %v", i, sum)
+		}
+		c.z[i] = sum
+	}
+
+	// Embed the kernel in the circulant: displacement t lives at t mod N.
+	N := c.fftN
+	emb := make([]float64, N*N)
+	for dy := -(d - 1); dy <= d-1; dy++ {
+		ey := ((dy + N) % N) * N
+		for dx := -(d - 1); dx <= d-1; dx++ {
+			emb[ey+(dx+N)%N] = kern[(dy+d-1)*w+(dx+d-1)]
+		}
+	}
+	conv, err := fft.NewRealConv2D(N, emb)
+	if err != nil {
+		return nil, err
+	}
+	c.conv = conv
+
+	if err := c.setOverrides(overrides); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// setOverrides installs the sparse correction layer in CSR form.
+func (c *ConvChannel) setOverrides(overrides []ConvOverride) error {
+	c.rowStart = make([]int, c.n+1)
+	if len(overrides) == 0 {
+		return nil
+	}
+	ovs := append([]ConvOverride(nil), overrides...)
+	sort.Slice(ovs, func(a, b int) bool {
+		if ovs[a].Row != ovs[b].Row {
+			return ovs[a].Row < ovs[b].Row
+		}
+		return ovs[a].Col < ovs[b].Col
+	})
+	c.idx = make([]int32, 0, len(ovs))
+	c.val = make([]float64, 0, len(ovs))
+	c.dval = make([]float64, 0, len(ovs))
+	row := 0
+	for k, o := range ovs {
+		if o.Row < 0 || o.Row >= c.n || o.Col < 0 || o.Col >= c.n {
+			return fmt.Errorf("fo: conv override (%d, %d) outside %d×%d", o.Row, o.Col, c.n, c.n)
+		}
+		if o.Val < 0 || math.IsNaN(o.Val) {
+			return fmt.Errorf("fo: conv override (%d, %d) has invalid value %v", o.Row, o.Col, o.Val)
+		}
+		if k > 0 && ovs[k-1].Row == o.Row && ovs[k-1].Col == o.Col {
+			return fmt.Errorf("fo: duplicate conv override at (%d, %d)", o.Row, o.Col)
+		}
+		for row < o.Row {
+			row++
+			c.rowStart[row] = len(c.idx)
+		}
+		c.idx = append(c.idx, int32(o.Col))
+		c.val = append(c.val, o.Val)
+		c.dval = append(c.dval, o.Val-c.baseAt(o.Row, o.Col))
+	}
+	for row < c.n {
+		row++
+		c.rowStart[row] = len(c.idx)
+	}
+	return nil
+}
+
+// baseAt returns the pre-override entry M_ij = kern(c_j − c_i)/z_i.
+func (c *ConvChannel) baseAt(i, j int) float64 {
+	d, w := c.d, 2*c.d-1
+	dx := j%d - i%d
+	dy := j/d - i/d
+	return c.kern[(dy+d-1)*w+(dx+d-1)] / c.z[i]
+}
+
+// NumInputs implements LinearChannel.
+func (c *ConvChannel) NumInputs() int { return c.n }
+
+// NumOutputs implements LinearChannel.
+func (c *ConvChannel) NumOutputs() int { return c.n }
+
+// GridSide returns d, the side of the underlying d×d grid.
+func (c *ConvChannel) GridSide() int { return c.d }
+
+// Normalizers returns the per-row pre-normalisation masses z_i, exactly
+// the row sums a dense construction would have computed. The returned
+// slice is the channel's backing store — treat it as read-only.
+func (c *ConvChannel) Normalizers() []float64 { return c.z }
+
+// NNZ returns the number of override entries.
+func (c *ConvChannel) NNZ() int { return len(c.idx) }
+
+// scratch borrows per-sweep working memory from the pool.
+func (c *ConvChannel) scratch() *convScratch {
+	if s, ok := c.pool.Get().(*convScratch); ok {
+		return s
+	}
+	return &convScratch{
+		buf: make([]float64, c.fftN*c.fftN),
+		fs:  c.conv.NewScratch(),
+	}
+}
+
+// embed writes src (d×d, scaled entry-wise by 1/scale when scale ≠ nil)
+// into the top-left corner of the fftN×fftN buffer, zeroing the padding
+// columns of the occupied rows. Rows ≥ d are never read by the pruned
+// transform, so they need no zeroing.
+func (c *ConvChannel) embed(buf, src, scale []float64) {
+	d, N := c.d, c.fftN
+	for y := 0; y < d; y++ {
+		row := src[y*d : (y+1)*d]
+		dst := buf[y*N : y*N+N]
+		if scale != nil {
+			zr := scale[y*d : (y+1)*d]
+			for x, v := range row {
+				dst[x] = v / zr[x]
+			}
+		} else {
+			copy(dst, row)
+		}
+		for x := d; x < N; x++ {
+			dst[x] = 0
+		}
+	}
+}
+
+// Forward implements LinearChannel: out = Mᵀp = K·(p/z) + override
+// corrections, one FFT convolution.
+func (c *ConvChannel) Forward(p, out []float64) {
+	s := c.scratch()
+	c.embed(s.buf, p, c.z)
+	c.conv.Apply(s.buf, s.buf, c.d, s.fs, false)
+	d, N := c.d, c.fftN
+	for y := 0; y < d; y++ {
+		copy(out[y*d:(y+1)*d], s.buf[y*N:y*N+d])
+	}
+	c.pool.Put(s)
+	c.forwardOverrides(0, c.n, p, out)
+}
+
+// forwardOverrides adds Σ p_i·(val − base_ij) onto the override columns
+// for rows i ∈ [lo, hi).
+func (c *ConvChannel) forwardOverrides(lo, hi int, p, out []float64) {
+	if len(c.idx) == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		pi := p[i]
+		if pi == 0 {
+			continue
+		}
+		for k := c.rowStart[i]; k < c.rowStart[i+1]; k++ {
+			out[c.idx[k]] += pi * c.dval[k]
+		}
+	}
+}
+
+// Backward implements LinearChannel: out = (K ⋆ w)/z + override
+// corrections, one FFT correlation.
+func (c *ConvChannel) Backward(w, out []float64) {
+	c.backwardRange(0, c.n, w, out)
+}
+
+// backwardRange computes Backward for output entries i ∈ [lo, hi) only.
+func (c *ConvChannel) backwardRange(lo, hi int, w, out []float64) {
+	s := c.scratch()
+	c.embed(s.buf, w, nil)
+	c.conv.Apply(s.buf, s.buf, c.d, s.fs, true)
+	d, N := c.d, c.fftN
+	for i := lo; i < hi; i++ {
+		out[i] = s.buf[(i/d)*N+i%d] / c.z[i]
+	}
+	c.pool.Put(s)
+	if len(c.idx) == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		acc := out[i]
+		for k := c.rowStart[i]; k < c.rowStart[i+1]; k++ {
+			acc += c.dval[k] * w[c.idx[k]]
+		}
+		out[i] = acc
+	}
+}
+
+// ForwardBlock implements BlockChannel: the rows outside [lo, hi) are
+// masked out of the embedding and the convolution runs as usual, so
+// disjoint blocks still sum to Forward exactly. Each block pays a full
+// FFT pass — the parallel engine only profits from this when blocks run
+// concurrently; the EM loop prefers the global sweeps on this channel.
+func (c *ConvChannel) ForwardBlock(lo, hi int, p, out []float64) {
+	s := c.scratch()
+	d, N := c.d, c.fftN
+	buf := s.buf
+	for y := 0; y < d; y++ {
+		row := buf[y*N : y*N+N]
+		rowLo := y * d
+		for x := 0; x < d; x++ {
+			if i := rowLo + x; i >= lo && i < hi {
+				row[x] = p[i] / c.z[i]
+			} else {
+				row[x] = 0
+			}
+		}
+		for x := d; x < N; x++ {
+			row[x] = 0
+		}
+	}
+	c.conv.Apply(buf, buf, d, s.fs, false)
+	for y := 0; y < d; y++ {
+		res := buf[y*N : y*N+d]
+		o := out[y*d : (y+1)*d]
+		for x, v := range res {
+			o[x] += v
+		}
+	}
+	c.pool.Put(s)
+	c.forwardOverrides(lo, hi, p, out)
+}
+
+// BackwardBlock implements BlockChannel: one full correlation, finishing
+// only the rows in [lo, hi).
+func (c *ConvChannel) BackwardBlock(lo, hi int, w, out []float64) {
+	c.backwardRange(lo, hi, w, out)
+}
+
+// Row implements LinearChannel, materialising row i into a fresh slice.
+func (c *ConvChannel) Row(i int) []float64 {
+	row := make([]float64, c.n)
+	c.RowInto(i, row)
+	return row
+}
+
+// RowInto materialises row i into dst (len NumOutputs) without
+// allocating: kern(c_j − c_i)/z_i with overrides applied — bit-identical
+// to the dense construction the channel replaces.
+func (c *ConvChannel) RowInto(i int, dst []float64) {
+	d, w := c.d, 2*c.d-1
+	xi, yi := i%d, i/d
+	zi := c.z[i]
+	for yj := 0; yj < d; yj++ {
+		seg := c.kern[(yj-yi+d-1)*w+(0-xi+d-1):]
+		out := dst[yj*d : (yj+1)*d]
+		for xj := range out {
+			out[xj] = seg[xj] / zi
+		}
+	}
+	for k := c.rowStart[i]; k < c.rowStart[i+1]; k++ {
+		dst[c.idx[k]] = c.val[k]
+	}
+}
+
+// Validate checks the row-stochastic invariant. Base rows sum to z_i/z_i
+// by construction — exactly 1 up to one rounding per entry, bounded well
+// below the 1e-9 channel tolerance — so only the structural invariants
+// and the overridden rows (materialised and summed) cost real work:
+// O(n + nnz·n) total, never O(n²).
+func (c *ConvChannel) Validate() error {
+	for i, zi := range c.z {
+		if zi <= 0 || math.IsNaN(zi) || math.IsInf(zi, 0) {
+			return fmt.Errorf("fo: conv channel row %d has invalid normaliser %v", i, zi)
+		}
+	}
+	if len(c.idx) == 0 {
+		return nil
+	}
+	row := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		if c.rowStart[i] == c.rowStart[i+1] {
+			continue
+		}
+		c.RowInto(i, row)
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("fo: conv channel row %d has invalid entry %v", i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("fo: conv channel row %d sums to %v", i, sum)
+		}
+	}
+	return nil
+}
+
+// MaxRatio returns the worst-case likelihood ratio over materialised
+// rows, as Channel.MaxRatio.
+func (c *ConvChannel) MaxRatio() float64 { return maxRatioByRows(c) }
+
+// Samplers builds one alias table per row — identical tables to the
+// dense channel's, one dense row at a time.
+func (c *ConvChannel) Samplers() ([]*rng.Alias, error) { return samplersByRows(c) }
+
+// Dense materialises the full dense channel, bit-identical to the legacy
+// dense construction (for the local-privacy adversary and audits).
+func (c *ConvChannel) Dense() *Channel {
+	ch := NewChannel(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		c.RowInto(i, ch.Row(i))
+	}
+	return ch
+}
+
+// Calibrated reports whether the channel reproduces the exact rows
+// produced by denseRow (which fills its argument with row i of the true
+// channel) at every probe row, to within tol max-abs deviation. The
+// construction sites use this as the displacement-invariance spot check:
+// probe a few border and interior rows, and fall back to the dense build
+// on any mismatch (non-square grids, exotic metrics).
+func (c *ConvChannel) Calibrated(denseRow func(i int, row []float64), probes []int, tol float64) bool {
+	want := make([]float64, c.n)
+	got := make([]float64, c.n)
+	for _, i := range probes {
+		if i < 0 || i >= c.n {
+			return false
+		}
+		denseRow(i, want)
+		c.RowInto(i, got)
+		for j := range got {
+			if d := math.Abs(got[j] - want[j]); !(d <= tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LinearSamplers builds per-row alias tables for any linear channel,
+// using the channel's own Samplers fast path when it has one.
+func LinearSamplers(c LinearChannel) ([]*rng.Alias, error) {
+	type samplerer interface {
+		Samplers() ([]*rng.Alias, error)
+	}
+	if s, ok := c.(samplerer); ok {
+		return s.Samplers()
+	}
+	return samplersByRows(c)
+}

@@ -125,6 +125,17 @@ type UniformSparse struct {
 	rowStart []int     // len in+1: override extent per row
 	idx      []int32   // override output indices, sorted within a row
 	val      []float64 // override absolute probabilities
+
+	// Run-length view of idx, built once at Build: overrides at
+	// consecutive output indices collapse into runs, so the sweeps do
+	// contiguous-range accumulation over val (bounds-check-eliminated
+	// slice loops) instead of a per-element int32 index gather. Wave
+	// footprints are contiguous per grid row, so the DAM family averages
+	// a handful of runs per row. The sweep arithmetic visits the same
+	// entries in the same order either way — results are bit-identical.
+	runRowStart []int   // len in+1: run extent per row
+	runStart    []int32 // first output index of each run
+	runLen      []int32 // entries in each run (val stays the backing store)
 }
 
 // UniformSparseBuilder accumulates rows for a UniformSparse channel in
@@ -242,7 +253,21 @@ func (b *UniformSparseBuilder) Build() (*UniformSparse, error) {
 	if b.rows != b.u.in {
 		return nil, fmt.Errorf("fo: %d rows appended, channel has %d inputs", b.rows, b.u.in)
 	}
-	return b.u, nil
+	u := b.u
+	u.runRowStart = make([]int, u.in+1)
+	for i := 0; i < u.in; i++ {
+		for k := u.rowStart[i]; k < u.rowStart[i+1]; {
+			end := k + 1
+			for end < u.rowStart[i+1] && u.idx[end] == u.idx[end-1]+1 {
+				end++
+			}
+			u.runStart = append(u.runStart, u.idx[k])
+			u.runLen = append(u.runLen, int32(end-k))
+			k = end
+		}
+		u.runRowStart[i+1] = len(u.runStart)
+	}
+	return u, nil
 }
 
 // NumInputs implements LinearChannel.
@@ -286,7 +311,9 @@ func (u *UniformSparse) Forward(p, out []float64) {
 	u.ForwardBlock(0, u.in, p, out)
 }
 
-// ForwardBlock implements BlockChannel.
+// ForwardBlock implements BlockChannel. Override corrections accumulate
+// run by run: each run is a contiguous out/val slice pair, so the inner
+// loop is a straight fused multiply-add stream with no index gather.
 func (u *UniformSparse) ForwardBlock(lo, hi int, p, out []float64) {
 	baseMass := 0.0
 	for i := lo; i < hi; i++ {
@@ -303,8 +330,16 @@ func (u *UniformSparse) ForwardBlock(lo, hi int, p, out []float64) {
 			continue
 		}
 		base := u.base[i]
-		for k := u.rowStart[i]; k < u.rowStart[i+1]; k++ {
-			out[u.idx[k]] += pi * (u.val[k] - base)
+		k := u.rowStart[i]
+		for r := u.runRowStart[i]; r < u.runRowStart[i+1]; r++ {
+			j0 := int(u.runStart[r])
+			l := int(u.runLen[r])
+			o := out[j0 : j0+l]
+			v := u.val[k : k+l : k+l]
+			for x := range o {
+				o[x] += pi * (v[x] - base)
+			}
+			k += l
 		}
 	}
 }
@@ -315,17 +350,26 @@ func (u *UniformSparse) Backward(w, out []float64) {
 	u.BackwardBlock(0, u.in, w, out)
 }
 
-// BackwardBlock implements BlockChannel.
+// BackwardBlock implements BlockChannel, with the same run-length
+// contiguous accumulation as ForwardBlock.
 func (u *UniformSparse) BackwardBlock(lo, hi int, w, out []float64) {
 	wSum := 0.0
 	for _, wj := range w {
 		wSum += wj
 	}
 	for i := lo; i < hi; i++ {
-		acc := u.base[i] * wSum
 		base := u.base[i]
-		for k := u.rowStart[i]; k < u.rowStart[i+1]; k++ {
-			acc += (u.val[k] - base) * w[u.idx[k]]
+		acc := base * wSum
+		k := u.rowStart[i]
+		for r := u.runRowStart[i]; r < u.runRowStart[i+1]; r++ {
+			j0 := int(u.runStart[r])
+			l := int(u.runLen[r])
+			ws := w[j0 : j0+l : j0+l]
+			v := u.val[k : k+l : k+l]
+			for x, wx := range ws {
+				acc += (v[x] - base) * wx
+			}
+			k += l
 		}
 		out[i] = acc
 	}

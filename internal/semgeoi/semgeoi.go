@@ -32,10 +32,10 @@ import (
 // Mechanism is the discrete SEM-Geo-I reporter/estimator over a d×d grid.
 type Mechanism struct {
 	dom        grid.Domain
-	epsGeo     float64 // ε' per unit cell distance
-	k          int     // subset size (ball cell count)
-	ballR      float64 // ball radius in cell units realising k cells
-	channel    *fo.Channel
+	epsGeo     float64          // ε' per unit cell distance
+	k          int              // subset size (ball cell count)
+	ballR      float64          // ball radius in cell units realising k cells
+	channel    fo.LinearChannel // ConvChannel on the fast path, dense fallback
 	ballOffs   []geom.Cell
 	workers    int // collection fan-out: 1 = sequential, 0 = GOMAXPROCS
 	estWorkers int // EM row-block fan-out: 1 = sequential, 0 = GOMAXPROCS
@@ -43,6 +43,9 @@ type Mechanism struct {
 	samplersOnce sync.Once
 	samplers     []*rng.Alias
 	samplersErr  error
+
+	denseOnce sync.Once
+	dense     *fo.Channel
 }
 
 // Option configures the mechanism.
@@ -115,7 +118,7 @@ func New(dom grid.Domain, epsGeo float64, opts ...Option) (*Mechanism, error) {
 		m.ballR = math.Max(m.ballR, o.CenterDist(geom.Cell{}))
 	}
 	m.buildChannel()
-	if err := m.channel.Validate(); err != nil {
+	if err := fo.ValidateLinear(m.channel); err != nil {
 		return nil, fmt.Errorf("semgeoi: internal channel invalid: %w", err)
 	}
 	return m, nil
@@ -157,26 +160,68 @@ func ballOffsets(k int) []geom.Cell {
 	return offs
 }
 
-// buildChannel fills the exact per-centre channel: outputs are the same
-// d×d cells (subset centres clamp to the grid).
+// buildChannel installs the exact per-centre channel: outputs are the
+// same d×d cells (subset centres clamp to the grid).
+//
+// The kernel exp(−ε'·dis/2) depends only on the cell displacement, so
+// the channel factors as diag(1/z_i)·K with K translation-invariant
+// everywhere — including the borders, which only change the per-row
+// normaliser. The convolutional form (fo.ConvChannel) exploits that for
+// O(n log n) EM sweeps; its rows reproduce the dense construction bit
+// for bit (same kernel bits, same row-major summation order), which a
+// calibration spot check on corner/edge/centre rows enforces before the
+// fast path is trusted. On any mismatch — a future non-invariant metric,
+// a non-square grid — the exact dense build takes over.
 func (m *Mechanism) buildChannel() {
+	d := m.dom.D
+	kern := fo.DisplacementKernel(d, func(dx, dy int) float64 {
+		return math.Exp(-m.epsGeo * math.Hypot(float64(dx), float64(dy)) / 2)
+	})
+	if conv, err := fo.NewConvChannel(d, kern, nil); err == nil &&
+		conv.Calibrated(m.exactRow, calibrationProbes(d), 0) {
+		m.channel = conv
+		return
+	}
+	m.channel = m.buildDense()
+}
+
+// exactRow fills row with the definitionally exact channel row i, the
+// reference the convolutional fast path is calibrated against.
+func (m *Mechanism) exactRow(i int, row []float64) {
+	vi := m.dom.CellAt(i)
+	sum := 0.0
+	for j := range row {
+		w := math.Exp(-m.epsGeo * vi.CenterDist(m.dom.CellAt(j)) / 2)
+		row[j] = w
+		sum += w
+	}
+	for j := range row {
+		row[j] /= sum
+	}
+}
+
+// calibrationProbes picks the spot-check rows: all four corners, an edge
+// midpoint on each border, and the grid centre.
+func calibrationProbes(d int) []int {
+	n := d * d
+	return []int{
+		0, d - 1, n - d, n - 1, // corners
+		d / 2,           // top edge
+		(d / 2) * d,     // left edge
+		(d/2)*d + d - 1, // right edge
+		n - d + d/2,     // bottom edge
+		(d/2)*d + d/2,   // centre
+	}
+}
+
+// buildDense is the exact O(n²) fallback construction.
+func (m *Mechanism) buildDense() *fo.Channel {
 	n := m.dom.NumCells()
 	ch := fo.NewChannel(n, n)
 	for i := 0; i < n; i++ {
-		vi := m.dom.CellAt(i)
-		row := ch.Row(i)
-		sum := 0.0
-		for j := 0; j < n; j++ {
-			vj := m.dom.CellAt(j)
-			w := math.Exp(-m.epsGeo * vi.CenterDist(vj) / 2)
-			row[j] = w
-			sum += w
-		}
-		for j := range row {
-			row[j] /= sum
-		}
+		m.exactRow(i, ch.Row(i))
 	}
-	m.channel = ch
+	return ch
 }
 
 // Name returns the mechanism's display name.
@@ -197,8 +242,27 @@ func (m *Mechanism) NumInputs() int { return m.dom.NumCells() }
 // NumOutputs returns the number of distinct subset centres (d²).
 func (m *Mechanism) NumOutputs() int { return m.dom.NumCells() }
 
-// Channel exposes the exact per-centre channel (read-only).
-func (m *Mechanism) Channel() *fo.Channel { return m.channel }
+// Channel exposes the exact per-centre channel as a dense matrix
+// (read-only), materialising it lazily — bit-identical to the historical
+// dense build — when the mechanism runs on the convolutional fast path.
+// Callers that only sweep should prefer Linear.
+func (m *Mechanism) Channel() *fo.Channel {
+	m.denseOnce.Do(func() {
+		switch ch := m.channel.(type) {
+		case *fo.Channel:
+			m.dense = ch
+		case *fo.ConvChannel:
+			m.dense = ch.Dense()
+		default:
+			m.dense = m.buildDense()
+		}
+	})
+	return m.dense
+}
+
+// Linear exposes the channel in its operative representation — the
+// convolutional form when calibration admitted it, dense otherwise.
+func (m *Mechanism) Linear() fo.LinearChannel { return m.channel }
 
 // Perturb draws one noisy subset centre for the given input cell index.
 func (m *Mechanism) Perturb(input int, r *rng.RNG) int {
@@ -209,7 +273,7 @@ func (m *Mechanism) Perturb(input int, r *rng.RNG) int {
 // first use. The returned slice is shared; treat it as read-only.
 func (m *Mechanism) Samplers() ([]*rng.Alias, error) {
 	m.samplersOnce.Do(func() {
-		m.samplers, m.samplersErr = m.channel.Samplers()
+		m.samplers, m.samplersErr = fo.LinearSamplers(m.channel)
 	})
 	return m.samplers, m.samplersErr
 }
@@ -315,11 +379,12 @@ func (m *Mechanism) EstimateHist(truth *grid.Hist2D, r *rng.RNG) (*grid.Hist2D, 
 // Exposed for tests and audits.
 func (m *Mechanism) GeoIRatioHolds(tol float64) bool {
 	n := m.NumInputs()
+	ch := m.Channel()
 	for i1 := 0; i1 < n; i1++ {
 		for i2 := i1 + 1; i2 < n; i2++ {
 			bound := math.Exp(m.epsGeo * m.dom.CellAt(i1).CenterDist(m.dom.CellAt(i2)))
 			for j := 0; j < m.NumOutputs(); j++ {
-				p1, p2 := m.channel.At(i1, j), m.channel.At(i2, j)
+				p1, p2 := ch.At(i1, j), ch.At(i2, j)
 				if p2 == 0 || p1 == 0 {
 					return false
 				}
