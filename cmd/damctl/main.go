@@ -13,9 +13,9 @@
 //	damctl estimate --in points.csv --d 15 --eps 3.5 [--mech DAM] [--workers 1]
 //	damctl estimate --from-aggregate agg.json
 //	damctl estimate --from-url http://127.0.0.1:8080
-//	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--auth-token s3cret] [--mech DAM --d 15 --eps 3.5]
+//	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--auth-token s3cret] [--mech DAM --d 15 --eps 3.5] [--data-dir state/]
 //	damctl supervise --member http://c1:8080 --member http://c2:8080 [--policy hash] [--auth-token s3cret]
-//	damctl submit --url http://127.0.0.1:8080 [--retries 3] rep-000.jsonl shard.json blob.dpa ...
+//	damctl submit --url http://127.0.0.1:8080 [--retries 3] [--submission-id id] rep-000.jsonl shard.json blob.dpa ...
 //	damctl query  --url http://127.0.0.1:8080 --range 2,2,8,8 | --topk 5   (or --from-aggregate agg.json)
 //	damctl demo                   # before/after ASCII density maps
 package main
@@ -86,7 +86,8 @@ Commands:
             decode a merged aggregate (--from-aggregate agg.json), or
             fetch from a collector (--from-url http://host:port)
   serve     run the HTTP collector daemon (merges shards, re-estimates
-            on --cadence with warm-started EM)
+            on --cadence with warm-started EM; --data-dir makes the
+            merged state crash-safe and restarts recover it)
   supervise run the fleet supervisor: route submissions across --member
             collectors and serve the hierarchically merged estimate
   submit    ship report/aggregate shard files to a collector or

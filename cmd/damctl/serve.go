@@ -16,6 +16,7 @@ import (
 
 	"dpspatial"
 	"dpspatial/internal/collector"
+	"dpspatial/internal/durable"
 )
 
 // The serve / submit subcommands wrap the report lifecycle in a network
@@ -35,6 +36,8 @@ func cmdServe(args []string) error {
 	minX := fs.Float64("minx", 0, "domain lower-left x (with --mech)")
 	minY := fs.Float64("miny", 0, "domain lower-left y (with --mech)")
 	side := fs.Float64("side", 1, "domain side length (with --mech)")
+	dataDir := fs.String("data-dir", "", "durable state directory: snapshots + write-ahead log; a restart with the same directory recovers the merged state and the recent-ack log")
+	snapshotEvery := fs.Int("snapshot-every", 0, "WAL records between snapshots with --data-dir (0 = default, negative = snapshot only at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +64,17 @@ func cmdServe(args []string) error {
 		cfg.Mechanism = m
 		cfg.Pipeline = pipeline
 	}
+	if *dataDir != "" {
+		st, err := durable.Open(*dataDir)
+		if err != nil {
+			return err
+		}
+		// Deferred before the collector's Close below, so LIFO ordering
+		// closes the WAL handle only after the final snapshot flushed.
+		defer st.Close()
+		cfg.Store = st
+		cfg.SnapshotEvery = *snapshotEvery
+	}
 	c, err := collector.New(cfg)
 	if err != nil {
 		return err
@@ -79,11 +93,19 @@ func cmdServe(args []string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("damctl: collector listening on http://%s (cadence %s)\n", ln.Addr(), *cadence)
+	if cfg.Store != nil {
+		ds := cfg.Store.Stats()
+		fmt.Printf("damctl: durable state in %s (snapshot seq %d, %d WAL records replayed in %dms)\n",
+			*dataDir, ds.SnapshotSeq, ds.RecordsReplayed, ds.RecoveryMillis)
+	}
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Stop accepting, then let the deferred collector Close flush a
+		// final snapshot before the store's WAL handle closes.
+		fmt.Println("damctl: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
@@ -94,8 +116,9 @@ func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	url := fs.String("url", "", "collector or supervisor base URL, e.g. http://127.0.0.1:8080")
 	authToken := fs.String("auth-token", "", "bearer token for a collector running with --auth-token")
-	retries := fs.Int("retries", 3, "retry a shard this many times on transient failures (5xx / connection refused), with doubling backoff")
-	backoff := fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry")
+	retries := fs.Int("retries", 3, "retry a shard this many times on transient failures (5xx / connection refused), with doubling jittered backoff")
+	backoff := fs.Duration("retry-backoff", 100*time.Millisecond, "backoff window before the first retry")
+	submissionID := fs.String("submission-id", "", "explicit idempotency ID (single file only): re-running the same submission under the same ID merges exactly once, across restarts of either side")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,13 +129,20 @@ func cmdSubmit(args []string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("no shard files to submit")
 	}
+	if *submissionID != "" && len(files) > 1 {
+		return fmt.Errorf("--submission-id names ONE logical submission; got %d files", len(files))
+	}
 	client := dpspatial.NewCollectorClient(*url)
 	client.AuthToken = *authToken
 	client.MaxRetries = *retries
 	client.RetryBackoff = *backoff
 	ctx := context.Background()
 	for _, path := range files {
-		resp, err := submitFile(ctx, client, path)
+		id := *submissionID
+		if id == "" {
+			id = collector.NewSubmissionID()
+		}
+		resp, err := submitFile(ctx, client, path, id)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -120,15 +150,20 @@ func cmdSubmit(args []string) error {
 		if resp.Member != "" {
 			via = fmt.Sprintf(" via %s", resp.Member)
 		}
-		fmt.Printf("%s: merged %g reports%s (total %g, generation %d)\n",
-			path, resp.Reports, via, resp.TotalReports, resp.Generation)
+		dup := ""
+		if resp.Duplicate {
+			dup = " (duplicate: original ack replayed)"
+		}
+		fmt.Printf("%s: merged %g reports%s (total %g, generation %d)%s\n",
+			path, resp.Reports, via, resp.TotalReports, resp.Generation, dup)
 	}
 	return nil
 }
 
 // submitFile sniffs a shard file's format — a raw DPA1/DPA2 blob, an
-// aggregate envelope, or a reports stream — and ships it accordingly.
-func submitFile(ctx context.Context, client *dpspatial.CollectorClient, path string) (*collector.SubmitResponse, error) {
+// aggregate envelope, or a reports stream — and ships it under the
+// given submission ID.
+func submitFile(ctx context.Context, client *dpspatial.CollectorClient, path, id string) (*collector.SubmitResponse, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -137,7 +172,7 @@ func submitFile(ctx context.Context, client *dpspatial.CollectorClient, path str
 		// Binary aggregates carry no pipeline metadata; the collector
 		// must already be locked to a scheme (or adopt from another
 		// submission first).
-		return client.SubmitAggregateBlob(ctx, data, nil)
+		return client.SubmitAggregateBlobWithID(ctx, data, nil, id)
 	}
 	firstLine := data
 	if i := bytes.IndexByte(data, '\n'); i >= 0 {
@@ -158,10 +193,14 @@ func submitFile(ctx context.Context, client *dpspatial.CollectorClient, path str
 		if env.Aggregate == nil {
 			return nil, fmt.Errorf("aggregate file has no aggregate")
 		}
+		blob, err := env.Aggregate.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
 		hdr := env.Pipeline
-		return client.SubmitAggregate(ctx, env.Aggregate, &hdr)
+		return client.SubmitAggregateBlobWithID(ctx, blob, &hdr, id)
 	case reportsFormat:
-		return client.SubmitReportStream(ctx, bytes.NewReader(data))
+		return client.SubmitReportStreamWithID(ctx, bytes.NewReader(data), id)
 	default:
 		return nil, fmt.Errorf("unknown format %q", probe.Format)
 	}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mathrand "math/rand/v2"
 	"net"
 	"net/http"
 	"strings"
@@ -37,8 +38,11 @@ type Client struct {
 	// retrying. Requests with a body are buffered in memory when
 	// retrying is enabled so every attempt replays identical bytes.
 	MaxRetries int
-	// RetryBackoff is the delay before the first retry; it doubles per
-	// attempt. Defaults to 100ms.
+	// RetryBackoff scales the delay before the first retry; it doubles
+	// per attempt, with equal jitter (a uniform draw from the upper half
+	// of each doubled window) so a burst of clients knocked back by the
+	// same collector restart does not retry in lockstep. Defaults to
+	// 100ms.
 	RetryBackoff time.Duration
 }
 
@@ -120,10 +124,23 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(retryDelay(backoff)):
 		}
 		backoff *= 2
 	}
+}
+
+// retryDelay jitters one backoff step with the equal-jitter scheme:
+// half the window deterministic, half uniform — sleep in
+// [backoff/2, backoff]. Keeping the deterministic half preserves the
+// exponential knock-back between attempts while decorrelating the
+// thundering herd a recovering server would otherwise face.
+func retryDelay(backoff time.Duration) time.Duration {
+	if backoff <= 1 {
+		return backoff
+	}
+	half := backoff / 2
+	return half + time.Duration(mathrand.Int64N(int64(half)+1))
 }
 
 // transportError marks a failure where no HTTP response arrived at all

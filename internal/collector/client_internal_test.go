@@ -1,0 +1,36 @@
+package collector
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayEqualJitterBounds pins the equal-jitter contract: every
+// draw stays inside [backoff/2, backoff], and the upper half actually
+// varies — a constant delay would put every knocked-back client on the
+// same retry clock.
+func TestRetryDelayEqualJitterBounds(t *testing.T) {
+	for _, backoff := range []time.Duration{
+		2 * time.Millisecond, 100 * time.Millisecond, 3200 * time.Millisecond,
+	} {
+		lo, hi := backoff/2, backoff
+		seen := map[time.Duration]bool{}
+		for i := 0; i < 256; i++ {
+			d := retryDelay(backoff)
+			if d < lo || d > hi {
+				t.Fatalf("retryDelay(%v) = %v, outside [%v, %v]", backoff, d, lo, hi)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("retryDelay(%v) never jittered: always %v", backoff, retryDelay(backoff))
+		}
+	}
+	// Degenerate windows pass through untouched.
+	if d := retryDelay(0); d != 0 {
+		t.Fatalf("retryDelay(0) = %v", d)
+	}
+	if d := retryDelay(1); d != 1 {
+		t.Fatalf("retryDelay(1) = %v", d)
+	}
+}

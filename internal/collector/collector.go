@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"dpspatial/internal/durable"
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
@@ -80,7 +81,22 @@ type Config struct {
 	// carry "Authorization: Bearer <token>". Clients set the same token
 	// in Client.AuthToken.
 	AuthToken string
+	// Store, when non-nil, makes the collector durable: the state the
+	// store recovered is replayed at New (refusing on anything corrupt
+	// or foreign), every accepted submission is appended to its WAL and
+	// fsync'd BEFORE the ack is sent, and snapshots compact the log
+	// every SnapshotEvery records plus once at Close. Without a store,
+	// behavior is byte-identical to the in-memory collector.
+	Store *durable.Store
+	// SnapshotEvery is the WAL-record count between snapshots
+	// (0 = DefaultSnapshotEvery; negative = snapshot only at Close).
+	SnapshotEvery int
 }
+
+// DefaultSnapshotEvery is the snapshot cadence applied when a durable
+// collector leaves SnapshotEvery unset: how many WAL records a crash
+// may have to replay.
+const DefaultSnapshotEvery = 256
 
 // DefaultMaxBodyBytes is the request-body cap applied when a collector
 // or fleet supervisor config leaves MaxBodyBytes unset.
@@ -114,6 +130,14 @@ type Collector struct {
 	stats      Stats
 	acks       *AckLog // idempotency log: submission ID → original ack
 
+	// store, when non-nil, is the durable persistence layer; WAL appends
+	// and snapshots run under mu as part of the submission commit.
+	// pipelinePersisted tracks whether the store (snapshot or current
+	// WAL) already holds the pinned pipeline, so each WAL generation
+	// records it exactly once.
+	store             *durable.Store
+	pipelinePersisted bool
+
 	// queryTree caches the quadtree decode backing /v1/query range
 	// answers for TreeEstimator mechanisms, keyed by the generation it
 	// was decoded from — a merge bumps the generation, invalidating it.
@@ -138,12 +162,17 @@ func New(cfg Config) (*Collector, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	c := &Collector{cfg: cfg, stop: make(chan struct{}), acks: NewAckLog(DedupWindow)}
+	c := &Collector{cfg: cfg, store: cfg.Store, stop: make(chan struct{}), acks: NewAckLog(DedupWindow)}
 	if cfg.Mechanism != nil {
 		c.mech = cfg.Mechanism
 		c.pipeline = cfg.Pipeline
 		c.agg = cfg.Mechanism.NewAggregate()
 		c.stats.Scheme = cfg.Mechanism.Scheme()
+	}
+	if c.store != nil {
+		if err := c.recoverFromStore(); err != nil {
+			return nil, fmt.Errorf("collector: recovering durable state: %w", err)
+		}
 	}
 	c.stats.CadenceMillis = cfg.Cadence.Milliseconds()
 	c.mux = http.NewServeMux()
@@ -186,10 +215,18 @@ func (c *Collector) Start() {
 	}()
 }
 
-// Close stops the cadence loop. The handler stays usable.
+// Close stops the cadence loop and, on a durable collector, compacts
+// any WAL records into a final snapshot so the next start recovers from
+// the snapshot alone. The handler stays usable. A failed final snapshot
+// is harmless — the WAL still holds everything it would have covered.
 func (c *Collector) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
+	c.mu.Lock()
+	if c.store != nil && c.mech != nil && c.store.RecordsSinceSnapshot() > 0 {
+		_ = c.snapshotLocked()
+	}
+	c.mu.Unlock()
 }
 
 // resolveMechanism returns the mechanism a submission carrying pipeline
@@ -290,12 +327,20 @@ func (c *Collector) checkAndPinPipelineLocked(p *Pipeline) error {
 
 // commitShard runs the locked commit of a fully parsed and validated
 // submission: replay-check the submission ID, install an adopted
-// candidate mechanism, validate and pin the pipeline metadata, merge
-// the shard, and count it. Both submission handlers share it so the
-// adoption transaction cannot diverge between the report and aggregate
-// paths. A replayed ID returns the original ack without merging, which
-// is what makes client retries after a lost response exactly-once.
-func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimator, adopted bool, id string, count func(*Stats)) (SubmitResponse, error) {
+// candidate mechanism, validate and pin the pipeline metadata, persist
+// the submission to the WAL (durable collectors), merge the shard, and
+// count it. Both submission handlers share it so the adoption
+// transaction cannot diverge between the report and aggregate paths. A
+// replayed ID returns the original ack without merging, which is what
+// makes client retries after a lost response exactly-once.
+//
+// The commit order is what extends that guarantee across a crash: the
+// ack is constructed from the post-merge totals, fsync'd into the WAL,
+// and only THEN merged — so every acknowledged submission is on disk,
+// and since the shard already passed Compatible (a superset of Merge's
+// checks) the merge after a successful append cannot fail, keeping
+// memory and disk in lockstep.
+func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimator, adopted bool, id string, kind shardKind) (SubmitResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.acks.Get(id); ok {
@@ -310,12 +355,27 @@ func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimat
 	if err := c.checkAndPinPipelineLocked(hdr); err != nil {
 		return SubmitResponse{}, err
 	}
-	resp, err := c.mergeLocked(shard)
-	if err != nil {
+	if err := shard.Compatible(c.mech); err != nil {
 		return SubmitResponse{}, err
 	}
-	count(&c.stats)
+	resp := SubmitResponse{
+		Scheme:       c.mech.Scheme(),
+		Reports:      shard.N,
+		TotalReports: c.agg.N + shard.N,
+		Generation:   c.generation + 1,
+	}
+	if err := c.persistShardLocked(shard, resp, id, kind); err != nil {
+		return SubmitResponse{}, err
+	}
+	if err := c.agg.Merge(shard); err != nil {
+		return SubmitResponse{}, err
+	}
+	c.generation++
+	c.stats.Generation = c.generation
+	c.stats.Reports = c.agg.N
+	kind.count(&c.stats)
 	c.acks.Put(id, resp)
+	c.maybeSnapshotLocked()
 	return resp, nil
 }
 
@@ -330,29 +390,6 @@ func (c *Collector) replayedAck(r *http.Request) (SubmitResponse, bool) {
 		c.stats.DuplicateShards++
 	}
 	return prev, ok
-}
-
-// mergeLocked folds one submitted shard into the canonical aggregate.
-// Callers hold mu. Merging under the lock keeps each submission atomic,
-// and since Merge is associative and commutative over exactly
-// representable counts, the merged aggregate is byte-identical for every
-// arrival interleaving.
-func (c *Collector) mergeLocked(shard *fo.Aggregate) (SubmitResponse, error) {
-	if err := shard.Compatible(c.mech); err != nil {
-		return SubmitResponse{}, err
-	}
-	if err := c.agg.Merge(shard); err != nil {
-		return SubmitResponse{}, err
-	}
-	c.generation++
-	c.stats.Generation = c.generation
-	c.stats.Reports = c.agg.N
-	return SubmitResponse{
-		Scheme:       c.mech.Scheme(),
-		Reports:      shard.N,
-		TotalReports: c.agg.N,
-		Generation:   c.generation,
-	}, nil
 }
 
 // estimateState is one decoded estimate plus the metadata of the decode
@@ -528,9 +565,9 @@ func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), func(s *Stats) { s.ReportShards++ })
+	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), shardReport)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, &resp)
@@ -581,9 +618,9 @@ func (c *Collector) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
-	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), func(s *Stats) { s.AggregateShards++ })
+	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), shardAggregate)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, &resp)
@@ -651,6 +688,10 @@ func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	stats := c.stats
 	c.mu.Unlock()
+	if c.store != nil {
+		ds := c.store.Stats()
+		stats.Durability = &ds
+	}
 	writeJSON(w, http.StatusOK, &stats)
 }
 

@@ -3,6 +3,7 @@ package collector
 import (
 	"fmt"
 
+	"dpspatial/internal/durable"
 	"dpspatial/internal/grid"
 )
 
@@ -133,6 +134,23 @@ func (l *AckLog) Get(id string) (SubmitResponse, bool) {
 	return resp, ok
 }
 
+// Entries returns the remembered acks in insertion order, oldest first
+// — the serialization order a durable snapshot preserves so a restored
+// log evicts in the same FIFO order as the original.
+func (l *AckLog) Entries() []AckLogEntry {
+	out := make([]AckLogEntry, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, AckLogEntry{ID: id, Resp: l.acks[id]})
+	}
+	return out
+}
+
+// AckLogEntry is one remembered submission ack.
+type AckLogEntry struct {
+	ID   string
+	Resp SubmitResponse
+}
+
 // Put remembers the ack for id, evicting the oldest entry past the cap.
 func (l *AckLog) Put(id string, resp SubmitResponse) {
 	if id == "" {
@@ -199,6 +217,11 @@ type Stats struct {
 	// CadenceMillis is the configured background merge cadence
 	// (0 = refresh only on demand).
 	CadenceMillis int64 `json:"cadenceMillis"`
+	// Durability reports the snapshot/WAL counters of a collector
+	// running with a durable store (nil when running in-memory only):
+	// records replayed at the last recovery, snapshot age, recovery
+	// duration — the operator surface for recovery health.
+	Durability *durable.Stats `json:"durability,omitempty"`
 }
 
 // DecodeCounters is the estimate-decode accounting block the collector

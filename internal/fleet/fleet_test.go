@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dpspatial/internal/collector"
+	"dpspatial/internal/durable"
 	"dpspatial/internal/fleet"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
@@ -949,4 +950,101 @@ func fetchFleetStats(t *testing.T, baseURL string) *fleet.Stats {
 		t.Fatal(err)
 	}
 	return &stats
+}
+
+// TestFleetMemberRestartsWarmFromDataDir is the durability counterpart
+// of TestFleetRefusesRestartedEmptyMember: the member runs over a
+// durable data directory, dies hard (no snapshot flush), and restarts
+// behind the same URL with the same directory. While it is down the
+// fleet estimate answers 503; once it rejoins warm, the estimate
+// transitions back to 200 with the byte-identical union — no
+// re-submission needed — and the supervisor's stats report the rejoin
+// and relay the member's durability counters.
+func TestFleetMemberRestartsWarmFromDataDir(t *testing.T) {
+	mech := newDAM(t, 5, 1.8)
+	pipeline := damPipeline(mech, 5, 1.8)
+	shards := accumulateShards(t, mech, 2, 61)
+	dir := t.TempDir()
+
+	openMember := func() (http.Handler, *durable.Store) {
+		t.Helper()
+		st, err := durable.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := collector.New(collector.Config{Build: damBuild(t), Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, st
+	}
+	h1, st1 := openMember()
+	front := &swapHandler{h: h1}
+	srv := httptest.NewServer(front)
+	t.Cleanup(srv.Close)
+	sup, err := fleet.New(fleet.Config{
+		Members: []string{srv.URL}, Mechanism: mech, Pipeline: pipeline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	supSrv := httptest.NewServer(sup)
+	t.Cleanup(supSrv.Close)
+	client := collector.NewClient(supSrv.URL)
+	ctx := context.Background()
+
+	for _, s := range shards {
+		if _, err := client.SubmitAggregate(ctx, s, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, want, err := client.Estimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9: the member vanishes mid-flight, WAL unflushed to any
+	// snapshot. The estimate must refuse rather than serve a partial
+	// union.
+	st1.Close()
+	front.swap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "connection refused (member down)", http.StatusServiceUnavailable)
+	}))
+	if _, _, err := client.Estimate(ctx); err == nil {
+		t.Fatal("estimate with the only data-holding member down must refuse")
+	} else {
+		var se *collector.StatusError
+		if !errors.As(err, &se) || se.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("down-member estimate got %v, want 503", err)
+		}
+	}
+
+	// Warm restart: same URL, same data directory. The WAL replay
+	// restores the merged shards, so the next fleet pull revives the
+	// member and the estimate is 200 again — byte-identical.
+	h2, st2 := openMember()
+	t.Cleanup(func() { st2.Close() })
+	front.swap(h2)
+	_, got, err := client.Estimate(ctx)
+	if err != nil {
+		t.Fatalf("estimate after warm member restart: %v", err)
+	}
+	if got.Reports != want.Reports || !reflect.DeepEqual(got.Mass, want.Mass) {
+		t.Fatal("fleet estimate diverged across the member's crash-restart")
+	}
+
+	stats := fetchFleetStats(t, supSrv.URL)
+	if len(stats.Members) != 1 {
+		t.Fatalf("fleet stats list %d members", len(stats.Members))
+	}
+	m := stats.Members[0]
+	if !m.Healthy || m.Recoveries == 0 {
+		t.Fatalf("member rejoin not reflected in stats: %+v", m)
+	}
+	if m.Durability == nil || m.Durability.RecordsReplayed == 0 {
+		t.Fatalf("member durability counters not relayed: %+v", m.Durability)
+	}
+	if m.Reports != want.Reports {
+		t.Fatalf("member reports %g after recovery, want %g", m.Reports, want.Reports)
+	}
 }

@@ -19,11 +19,12 @@ type member struct {
 	url    string
 	client *collector.Client
 
-	mu        sync.Mutex
-	healthy   bool
-	lastError string
-	routed    uint64 // submissions this supervisor routed here and the member accepted
-	failovers uint64 // submissions that had to fail over past this member
+	mu         sync.Mutex
+	healthy    bool
+	lastError  string
+	routed     uint64 // submissions this supervisor routed here and the member accepted
+	failovers  uint64 // submissions that had to fail over past this member
+	recoveries uint64 // unhealthy→healthy transitions: rejoins after an outage
 	// nonEmpty latches once the member was ever observed holding merged
 	// reports (via an aggregate pull or its stats) — including shards
 	// that reached it outside this supervisor, or before a supervisor
@@ -48,6 +49,9 @@ func (m *member) isHealthy() bool {
 
 func (m *member) markHealthy() {
 	m.mu.Lock()
+	if !m.healthy {
+		m.recoveries++
+	}
 	m.healthy, m.lastError = true, ""
 	m.mu.Unlock()
 }
@@ -102,11 +106,12 @@ func (m *member) snapshot() MemberStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return MemberStats{
-		URL:       m.url,
-		Healthy:   m.healthy,
-		LastError: m.lastError,
-		Routed:    m.routed,
-		Failovers: m.failovers,
+		URL:        m.url,
+		Healthy:    m.healthy,
+		LastError:  m.lastError,
+		Routed:     m.routed,
+		Failovers:  m.failovers,
+		Recoveries: m.recoveries,
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"dpspatial/internal/collector"
+	"dpspatial/internal/durable"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
 	"dpspatial/internal/rangequery"
@@ -798,6 +799,7 @@ func (s *Supervisor) memberStats(ctx context.Context) []MemberStats {
 			if ms, err := m.client.Stats(cctx); err == nil {
 				out[i].Generation = ms.Generation
 				out[i].Reports = ms.Reports
+				out[i].Durability = ms.Durability
 				if ms.Reports > 0 {
 					m.noteNonEmpty()
 				}
@@ -857,8 +859,15 @@ type MemberStats struct {
 	// transiently and moved on.
 	Routed    uint64 `json:"routed"`
 	Failovers uint64 `json:"failovers"`
+	// Recoveries counts the member's unhealthy→healthy transitions — how
+	// many outages it has rejoined the fleet from.
+	Recoveries uint64 `json:"recoveries,omitempty"`
 	// Generation and Reports mirror the member's own /v1/stats at the
 	// time of the query (zero when the member did not answer).
 	Generation uint64  `json:"generation"`
 	Reports    float64 `json:"reports"`
+	// Durability relays the member's own snapshot/WAL counters when it
+	// runs with a durable store (nil for in-memory members or when the
+	// member did not answer the stats probe).
+	Durability *durable.Stats `json:"durability,omitempty"`
 }
