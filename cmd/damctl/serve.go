@@ -38,13 +38,15 @@ func cmdServe(args []string) error {
 	side := fs.Float64("side", 1, "domain side length (with --mech)")
 	dataDir := fs.String("data-dir", "", "durable state directory: snapshots + write-ahead log; a restart with the same directory recovers the merged state and the recent-ack log")
 	snapshotEvery := fs.Int("snapshot-every", 0, "WAL records between snapshots with --data-dir (0 = default, negative = snapshot only at shutdown)")
+	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics (behind --auth-token like the data endpoints)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := collector.Config{
-		Cadence:   *cadence,
-		AuthToken: *authToken,
+		Cadence:        *cadence,
+		AuthToken:      *authToken,
+		DisableMetrics: !*metricsOn,
 		// Adopt the mechanism from the first submission's pipeline
 		// metadata (a report stream's header line, or the
 		// X-Dpspatial-Pipeline header on a binary aggregate POST).
@@ -93,6 +95,9 @@ func cmdServe(args []string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("damctl: collector listening on http://%s (cadence %s)\n", ln.Addr(), *cadence)
+	if *metricsOn {
+		fmt.Printf("damctl: metrics exposition at http://%s%s\n", ln.Addr(), collector.MetricsPath)
+	}
 	if cfg.Store != nil {
 		ds := cfg.Store.Stats()
 		fmt.Printf("damctl: durable state in %s (snapshot seq %d, %d WAL records replayed in %dms)\n",

@@ -52,6 +52,7 @@ func cmdSupervise(args []string) error {
 	minX := fs.Float64("minx", 0, "domain lower-left x (with --mech)")
 	minY := fs.Float64("miny", 0, "domain lower-left y (with --mech)")
 	side := fs.Float64("side", 1, "domain side length (with --mech)")
+	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics (behind --auth-token like the data endpoints)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +64,7 @@ func cmdSupervise(args []string) error {
 		dpspatial.WithFleetPolicy(*policy),
 		dpspatial.WithFleetCadence(*cadence),
 		dpspatial.WithFleetAuthToken(*authToken),
+		dpspatial.WithFleetMetrics(*metricsOn),
 	}
 	var sup *dpspatial.FleetSupervisor
 	var err error
@@ -93,6 +95,9 @@ func cmdSupervise(args []string) error {
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("damctl: fleet supervisor listening on http://%s (%d members, %s routing, cadence %s)\n",
 		ln.Addr(), len(members), *policy, *cadence)
+	if *metricsOn {
+		fmt.Printf("damctl: metrics exposition at http://%s/metrics\n", ln.Addr())
+	}
 
 	select {
 	case err := <-errc:

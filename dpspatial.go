@@ -321,7 +321,7 @@ func WithMechanism(name string) EstimateOption {
 }
 
 // WithOptions forwards mechanism options (radius, smoothing, collection
-// workers).
+// workers, estimate workers).
 func WithOptions(opts ...Option) EstimateOption {
 	return func(c *estimateConfig) { c.opts = opts }
 }

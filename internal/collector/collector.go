@@ -28,6 +28,7 @@ import (
 	"dpspatial/internal/em"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/metrics"
 	"dpspatial/internal/rangequery"
 )
 
@@ -91,6 +92,9 @@ type Config struct {
 	// SnapshotEvery is the WAL-record count between snapshots
 	// (0 = DefaultSnapshotEvery; negative = snapshot only at Close).
 	SnapshotEvery int
+	// DisableMetrics leaves GET /metrics unrouted (404). The collector
+	// still accounts internally; only the exposition endpoint is gated.
+	DisableMetrics bool
 }
 
 // DefaultSnapshotEvery is the snapshot cadence applied when a durable
@@ -149,6 +153,12 @@ type Collector struct {
 	// requests do not duplicate work; submissions proceed meanwhile.
 	decodeMu sync.Mutex
 
+	// reg is the /metrics registry; met the shared instrument set
+	// registered on it. Instrument updates are lock-free, so they are
+	// bumped freely under mu; scrape-time funcs take mu themselves.
+	reg *metrics.Registry
+	met *ServiceMetrics
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -163,6 +173,8 @@ func New(cfg Config) (*Collector, error) {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	c := &Collector{cfg: cfg, store: cfg.Store, stop: make(chan struct{}), acks: NewAckLog(DedupWindow)}
+	c.reg = metrics.New()
+	c.met = NewServiceMetrics(c.reg)
 	if cfg.Mechanism != nil {
 		c.mech = cfg.Mechanism
 		c.pipeline = cfg.Pipeline
@@ -175,6 +187,7 @@ func New(cfg Config) (*Collector, error) {
 		}
 	}
 	c.stats.CadenceMillis = cfg.Cadence.Milliseconds()
+	c.registerCollectorMetrics()
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
 	c.mux.HandleFunc("/v1/report", c.handleReport)
@@ -182,7 +195,10 @@ func New(cfg Config) (*Collector, error) {
 	c.mux.HandleFunc("/v1/estimate", c.handleEstimate)
 	c.mux.HandleFunc("/v1/query", c.handleQuery)
 	c.mux.HandleFunc("/v1/stats", c.handleStats)
-	c.handler = RequireBearer(cfg.AuthToken, c.mux)
+	if !cfg.DisableMetrics {
+		c.mux.Handle(MetricsPath, c.reg.Handler())
+	}
+	c.handler = InstrumentHTTP(c.met, RequireBearer(cfg.AuthToken, c.mux))
 	return c, nil
 }
 
@@ -345,6 +361,7 @@ func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimat
 	defer c.mu.Unlock()
 	if prev, ok := c.acks.Get(id); ok {
 		c.stats.DuplicateShards++
+		c.met.Submissions.With(SubmissionDuplicate).Inc()
 		return prev, nil
 	}
 	if adopted {
@@ -375,6 +392,7 @@ func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimat
 	c.stats.Reports = c.agg.N
 	kind.count(&c.stats)
 	c.acks.Put(id, resp)
+	c.met.Submissions.With(SubmissionAccepted).Inc()
 	c.maybeSnapshotLocked()
 	return resp, nil
 }
@@ -388,6 +406,7 @@ func (c *Collector) replayedAck(r *http.Request) (SubmitResponse, bool) {
 	prev, ok := c.acks.Get(id)
 	if ok {
 		c.stats.DuplicateShards++
+		c.met.Submissions.With(SubmissionDuplicate).Inc()
 	}
 	return prev, ok
 }
@@ -423,6 +442,7 @@ func (c *Collector) refresh() (estimateState, error) {
 	if c.est != nil && c.estGen == c.generation {
 		cur := estimateState{est: c.est, gen: c.estGen, n: c.estN, iters: c.estIters, warm: c.estWarm}
 		c.mu.Unlock()
+		c.met.QueryCacheHits.With(CacheEstimate).Inc()
 		return cur, nil
 	}
 	// Snapshot under the lock, decode outside it: submissions keep
@@ -432,18 +452,23 @@ func (c *Collector) refresh() (estimateState, error) {
 	init := c.est
 	mech := c.mech
 	c.mu.Unlock()
+	c.met.QueryCacheMisses.With(CacheEstimate).Inc()
 
+	t0 := time.Now()
 	est, iters, warm, err := DecodeEstimate(mech, snapshot, init)
 	if err != nil {
 		return estimateState{}, err
 	}
+	elapsed := time.Since(t0)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.est, c.estGen, c.estN = est, snapGen, snapshot.N
 	c.estIters, c.estWarm = iters, warm
 	c.stats.EstimateGeneration = snapGen
+	savedBefore := c.stats.IterationsSaved
 	c.stats.Account(iters, warm)
+	c.met.ObserveDecode(elapsed, iters, warm, c.stats.IterationsSaved-savedBefore)
 	return estimateState{est: est, gen: snapGen, n: snapshot.N, iters: iters, warm: warm}, nil
 }
 

@@ -283,6 +283,7 @@ func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	c.met.Queries.With(req.Type).Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -321,6 +322,7 @@ func (c *Collector) rangeTree(te TreeEstimator) (*rangequery.Quadtree, uint64, f
 	if c.queryTree != nil && c.queryTreeGen == c.generation {
 		t, gen, n := c.queryTree, c.queryTreeGen, c.queryTreeN
 		c.mu.Unlock()
+		c.met.QueryCacheHits.With(CacheTree).Inc()
 		return t, gen, n, nil
 	}
 	if c.agg.N == 0 {
@@ -330,6 +332,7 @@ func (c *Collector) rangeTree(te TreeEstimator) (*rangequery.Quadtree, uint64, f
 	snapshot := c.agg.Clone()
 	gen := c.generation
 	c.mu.Unlock()
+	c.met.QueryCacheMisses.With(CacheTree).Inc()
 	tree, _, err := te.EstimateTreeFromAggregate(snapshot)
 	if err != nil {
 		return nil, 0, 0, err

@@ -132,6 +132,13 @@ type Stats struct {
 	// RecordsAppended / SnapshotsWritten count this process's writes.
 	RecordsAppended  uint64 `json:"recordsAppended"`
 	SnapshotsWritten uint64 `json:"snapshotsWritten"`
+	// WALFsyncs counts fsyncs issued on the WAL file by this process —
+	// one per Append batch plus one per post-snapshot reset — the
+	// durability cost an operator trades against the snapshot cadence.
+	// WALBytesWritten is the total bytes this process appended to the
+	// WAL, headers included (unlike WALBytes it never shrinks on reset).
+	WALFsyncs       uint64 `json:"walFsyncs"`
+	WALBytesWritten uint64 `json:"walBytesWritten"`
 	// RecordsReplayed is how many WAL records the startup recovery
 	// replayed; TornTailBytes the discarded incomplete final write.
 	RecordsReplayed int   `json:"recordsReplayed"`
@@ -250,6 +257,8 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("durable: %w", err)
 		}
 		validEnd = int64(len(walMagic))
+		s.stats.WALFsyncs++
+		s.stats.WALBytesWritten += uint64(len(walMagic))
 	}
 	s.wal = f
 	s.walBytes = validEnd
@@ -305,6 +314,8 @@ func (s *Store) Append(recs ...Record) error {
 	s.seq += uint64(len(recs))
 	s.walBytes += int64(len(buf))
 	s.stats.RecordsAppended += uint64(len(recs))
+	s.stats.WALFsyncs++
+	s.stats.WALBytesWritten += uint64(len(buf))
 	return nil
 }
 
@@ -395,6 +406,8 @@ func (s *Store) resetWALLocked() error {
 		return fmt.Errorf("durable: WAL fsync: %w", err)
 	}
 	s.walBytes = int64(len(walMagic))
+	s.stats.WALFsyncs++
+	s.stats.WALBytesWritten += uint64(len(walMagic))
 	return nil
 }
 

@@ -18,6 +18,10 @@ import (
 type member struct {
 	url    string
 	client *collector.Client
+	// inst mirrors the routing counters into the supervisor's /metrics
+	// per-member series; nil (and a no-op) for members built outside a
+	// supervisor.
+	inst *memberInstruments
 
 	mu         sync.Mutex
 	healthy    bool
@@ -51,8 +55,10 @@ func (m *member) markHealthy() {
 	m.mu.Lock()
 	if !m.healthy {
 		m.recoveries++
+		m.inst.countRecovery()
 	}
 	m.healthy, m.lastError = true, ""
+	m.inst.setHealthy(true)
 	m.mu.Unlock()
 }
 
@@ -62,18 +68,21 @@ func (m *member) markUnhealthy(err error) {
 	if err != nil {
 		m.lastError = err.Error()
 	}
+	m.inst.setHealthy(false)
 	m.mu.Unlock()
 }
 
 func (m *member) countRouted() {
 	m.mu.Lock()
 	m.routed++
+	m.inst.countRouted()
 	m.mu.Unlock()
 }
 
 func (m *member) countFailover() {
 	m.mu.Lock()
 	m.failovers++
+	m.inst.countFailover()
 	m.mu.Unlock()
 }
 

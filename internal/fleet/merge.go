@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"sync"
+	"time"
 
 	"dpspatial/internal/collector"
 	"dpspatial/internal/fo"
@@ -186,22 +187,31 @@ func (s *Supervisor) refresh(ctx context.Context) (estimateState, error) {
 	if s.est != nil && s.estHash == hash {
 		cur := estimateState{est: s.est, gen: s.estGen, n: s.estN, iters: s.estIters, warm: s.estWarm}
 		s.mu.Unlock()
+		s.met.QueryCacheHits.With(collector.CacheEstimate).Inc()
 		return cur, nil
 	}
 	init := s.est
 	mech := s.mech
 	routed := s.stats.Routed
 	s.mu.Unlock()
+	s.met.QueryCacheMisses.With(collector.CacheEstimate).Inc()
 
+	t0 := time.Now()
 	est, iters, warm, err := collector.DecodeEstimate(mech, merged, init)
 	if err != nil {
 		return estimateState{}, err
 	}
+	elapsed := time.Since(t0)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.estHash != hash {
+		s.stateHashGens.Inc()
+	}
 	s.est, s.estHash, s.estGen, s.estN = est, hash, routed, merged.N
 	s.estIters, s.estWarm = iters, warm
+	savedBefore := s.stats.IterationsSaved
 	s.stats.Account(iters, warm)
+	s.met.ObserveDecode(elapsed, iters, warm, s.stats.IterationsSaved-savedBefore)
 	return estimateState{est: est, gen: routed, n: merged.N, iters: iters, warm: warm}, nil
 }

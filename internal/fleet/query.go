@@ -38,6 +38,7 @@ func (s *Supervisor) handleQuery(w http.ResponseWriter, r *http.Request) {
 		collector.WriteError(w, status, err)
 		return
 	}
+	s.met.Queries.With(req.Type).Inc()
 	collector.WriteJSON(w, http.StatusOK, resp)
 }
 
@@ -83,10 +84,12 @@ func (s *Supervisor) rangeTree(ctx context.Context, te collector.TreeEstimator) 
 	if s.queryTree != nil && s.queryTreeHash == hash {
 		t, gen, n := s.queryTree, s.queryTreeGen, s.queryTreeN
 		s.mu.Unlock()
+		s.met.QueryCacheHits.With(collector.CacheTree).Inc()
 		return t, gen, n, nil
 	}
 	routed := s.stats.Routed
 	s.mu.Unlock()
+	s.met.QueryCacheMisses.With(collector.CacheTree).Inc()
 	tree, _, err := te.EstimateTreeFromAggregate(merged)
 	if err != nil {
 		return nil, 0, 0, err

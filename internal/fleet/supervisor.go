@@ -44,6 +44,7 @@ import (
 	"dpspatial/internal/durable"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/metrics"
 	"dpspatial/internal/rangequery"
 )
 
@@ -82,6 +83,9 @@ type Config struct {
 	// HTTPClient is used for member requests (default
 	// http.DefaultClient).
 	HTTPClient *http.Client
+	// DisableMetrics leaves GET /metrics unrouted (404). The supervisor
+	// still accounts internally; only the exposition endpoint is gated.
+	DisableMetrics bool
 }
 
 // Supervisor is the fleet daemon. It implements http.Handler; run it
@@ -129,6 +133,14 @@ type Supervisor struct {
 	// /v1/estimate requests do not duplicate EM work.
 	decodeMu sync.Mutex
 
+	// reg is the /metrics registry; met the collector-tier shared
+	// instrument set registered on it; the two counters are the
+	// fleet-only families registerFleetMetrics adds.
+	reg            *metrics.Registry
+	met            *collector.ServiceMetrics
+	fleetFailovers *metrics.Counter
+	stateHashGens  *metrics.Counter
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -155,6 +167,8 @@ func New(cfg Config) (*Supervisor, error) {
 		inflight: make(map[string]bool),
 		sticky:   make(map[string]*member),
 	}
+	s.reg = metrics.New()
+	s.met = collector.NewServiceMetrics(s.reg)
 	seen := make(map[string]bool, len(cfg.Members))
 	for _, url := range cfg.Members {
 		m := newMember(url, cfg.AuthToken, cfg.HTTPClient)
@@ -180,6 +194,7 @@ func New(cfg Config) (*Supervisor, error) {
 	}
 	s.stats.Policy = cfg.Policy
 	s.stats.CadenceMillis = cfg.Cadence.Milliseconds()
+	s.registerFleetMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/report", s.handleReport)
@@ -187,7 +202,10 @@ func New(cfg Config) (*Supervisor, error) {
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.handler = collector.RequireBearer(cfg.AuthToken, s.mux)
+	if !cfg.DisableMetrics {
+		s.mux.Handle(collector.MetricsPath, s.reg.Handler())
+	}
+	s.handler = collector.InstrumentHTTP(s.met, collector.RequireBearer(cfg.AuthToken, s.mux))
 	return s, nil
 }
 
@@ -366,6 +384,7 @@ func (s *Supervisor) routeSubmission(w http.ResponseWriter, r *http.Request, kin
 	s.mu.Lock()
 	if prev, ok := s.acks.Get(id); ok {
 		s.stats.Duplicates++
+		s.met.Submissions.With(collector.SubmissionDuplicate).Inc()
 		s.mu.Unlock()
 		collector.WriteJSON(w, http.StatusOK, &prev)
 		return
@@ -462,9 +481,11 @@ func (s *Supervisor) routeSubmission(w http.ResponseWriter, r *http.Request, kin
 	recovered := resp.Duplicate && s.sticky[id] == m
 	if resp.Duplicate {
 		s.stats.Duplicates++
+		s.met.Submissions.With(collector.SubmissionDuplicate).Inc()
 	}
 	if !resp.Duplicate || recovered {
 		s.stats.Routed++
+		s.met.Submissions.With(collector.SubmissionAccepted).Inc()
 		if kind == kindReport {
 			s.stats.ReportShards++
 		} else {
@@ -607,6 +628,7 @@ func (s *Supervisor) forward(ctx context.Context, kind submissionKind, body []by
 				s.mu.Lock()
 				s.stats.Failovers++
 				s.mu.Unlock()
+				s.fleetFailovers.Inc()
 				lastErr = err
 			default:
 				m.markUnhealthy(err)
@@ -650,6 +672,7 @@ func (s *Supervisor) replayedAck(r *http.Request) (collector.SubmitResponse, boo
 	prev, ok := s.acks.Get(id)
 	if ok {
 		s.stats.Duplicates++
+		s.met.Submissions.With(collector.SubmissionDuplicate).Inc()
 	}
 	return prev, ok
 }

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGoldenExposition pins the exact text exposition: family ordering,
+// series ordering, label escaping, histogram framing. The byte-level
+// contract is what CI's smoke greps and the collector golden test build
+// on, so a change here is a wire-format change.
+func TestGoldenExposition(t *testing.T) {
+	r := New()
+	// Registered deliberately out of name order: exposition must sort.
+	g := r.Gauge("zz_gauge", "a gauge")
+	g.Set(2.5)
+	c := r.Counter("aa_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	v := r.CounterVec("mid_total", "a labelled counter", "path", "code")
+	v.With("/v1/report", "200").Add(3)
+	v.With("/v1/aggregate", "409").Inc()
+	h := r.Histogram("lat_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("fn_gauge", `escaped "help" with \ and
+newline`, func() float64 { return 7 })
+
+	want := `# HELP aa_total a counter
+# TYPE aa_total counter
+aa_total 3
+# HELP fn_gauge escaped "help" with \\ and\nnewline
+# TYPE fn_gauge gauge
+fn_gauge 7
+# HELP lat_seconds a histogram
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 5.55
+lat_seconds_count 3
+# HELP mid_total a labelled counter
+# TYPE mid_total counter
+mid_total{path="/v1/aggregate",code="409"} 1
+mid_total{path="/v1/report",code="200"} 3
+# HELP zz_gauge a gauge
+# TYPE zz_gauge gauge
+zz_gauge 2.5
+`
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestDeterministicRepeatedScrapes asserts the headline property: an
+// unchanged registry renders byte-identically, scrape after scrape.
+func TestDeterministicRepeatedScrapes(t *testing.T) {
+	r := New()
+	v := r.CounterVec("x_total", "x", "a", "b")
+	for _, lv := range [][2]string{{"p", "q"}, {"p", "r"}, {"z", "a"}, {"", "empty"}} {
+		v.With(lv[0], lv[1]).Inc()
+	}
+	h := r.HistogramVec("h_seconds", "h", DefBuckets, "mode")
+	h.With("cold").Observe(0.3)
+	h.With("warm").Observe(0.01)
+
+	var first strings.Builder
+	if _, err := r.WriteTo(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		if _, err := r.WriteTo(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("scrape %d differs from the first:\n%s\nvs\n%s", i+2, again.String(), first.String())
+		}
+	}
+}
+
+// TestHandler serves the exposition over HTTP with the format content
+// type, and refuses non-GET.
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("one_total", "one").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("content type %q is not the exposition format", ct)
+	}
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST /metrics answered %d, want 405", post.StatusCode)
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes hammers every instrument kind from
+// many goroutines while scraping concurrently — the -race guarantee the
+// collector relies on when submissions and scrapes overlap — then checks
+// no increment was lost.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	v := r.CounterVec("v_total", "v", "worker")
+	h := r.Histogram("h_seconds", "h", []float64{0.5})
+
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				v.With(lbl).Inc()
+				h.Observe(float64(i%2) * 0.9)
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if _, err := r.WriteTo(&b); err != nil {
+					t.Errorf("WriteTo: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter lost updates: %g != %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := v.With(string(rune('a' + w))).Value(); got != perWorker {
+			t.Errorf("vec series %d lost updates: %g != %d", w, got, perWorker)
+		}
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram lost observations: %d != %d", got, workers*perWorker)
+	}
+}
+
+// TestReregisterSameShape returns the same family; a different shape
+// panics — names are a stable contract.
+func TestReregisterSameShape(t *testing.T) {
+	r := New()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second registration, same shape")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("re-registration did not return the same series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "wrong kind")
+}

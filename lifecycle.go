@@ -135,7 +135,10 @@ func NewCollectorClient(baseURL string) *CollectorClient {
 }
 
 // CollectorStats are the counters GET /v1/stats serves: shards merged,
-// decodes run, and the EM iterations saved by warm-started refreshes.
+// decodes run, the EM iterations saved by warm-started refreshes, and —
+// on a collector running with a durable data directory — the
+// snapshot/WAL durability block (records replayed at recovery, snapshot
+// age, recovery duration).
 type CollectorStats = collector.Stats
 
 // CollectorPipeline is the pipeline metadata a collector needs to adopt
@@ -253,6 +256,13 @@ func WithFleetCadence(d time.Duration) FleetOption {
 // members started with the same --auth-token.
 func WithFleetAuthToken(token string) FleetOption {
 	return func(c *fleet.Config) { c.AuthToken = token }
+}
+
+// WithFleetMetrics gates the supervisor's GET /metrics exposition
+// endpoint (enabled by default). Disabling only unroutes the endpoint;
+// the supervisor keeps accounting internally either way.
+func WithFleetMetrics(enabled bool) FleetOption {
+	return func(c *fleet.Config) { c.DisableMetrics = !enabled }
 }
 
 // NewFleetPipeline builds a supervisor fronting the collectors at
