@@ -205,6 +205,7 @@ func cmdEstimate(args []string) error {
 	fromAgg := fs.String("from-aggregate", "", "decode a merged aggregate file instead of collecting from CSV points")
 	fromURL := fs.String("from-url", "", "fetch the current estimate from a collector or fleet supervisor (base URL)")
 	authToken := fs.String("auth-token", "", "bearer token for a service running with --auth-token (with --from-url)")
+	tlsCA := fs.String("tls-ca", "", "PEM CA bundle to trust for an https:// --from-url")
 	d := fs.Int("d", 15, "grid side length")
 	eps := fs.Float64("eps", 3.5, "privacy budget")
 	mech := fs.String("mech", "DAM", "mechanism: "+strings.Join(dpspatial.EstimateMechanismNames(), ", "))
@@ -218,7 +219,7 @@ func cmdEstimate(args []string) error {
 	var err error
 	switch {
 	case *fromURL != "":
-		est, err = estimateFromURL(*fromURL, *authToken)
+		est, err = estimateFromURL(*fromURL, *authToken, *tlsCA)
 	case *fromAgg != "":
 		est, err = estimateFromAggregateFile(*fromAgg)
 	case *in != "":

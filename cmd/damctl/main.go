@@ -13,9 +13,9 @@
 //	damctl estimate --in points.csv --d 15 --eps 3.5 [--mech DAM] [--workers 1]
 //	damctl estimate --from-aggregate agg.json
 //	damctl estimate --from-url http://127.0.0.1:8080
-//	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--auth-token s3cret] [--mech DAM --d 15 --eps 3.5] [--data-dir state/]
-//	damctl supervise --member http://c1:8080 --member http://c2:8080 [--policy hash] [--auth-token s3cret]
-//	damctl submit --url http://127.0.0.1:8080 [--retries 3] [--submission-id id] rep-000.jsonl shard.json blob.dpa ...
+//	damctl serve  [--addr 127.0.0.1:8080] [--cadence 2s] [--auth-token s3cret] [--mech DAM --d 15 --eps 3.5] [--data-dir state/] [--slow-ms 250 --log-format json] [--pprof] [--tls-cert c.pem --tls-key k.pem]
+//	damctl supervise --member http://c1:8080 --member http://c2:8080 [--policy hash] [--auth-token s3cret] [--slow-ms 250] [--tls-cert c.pem --tls-key k.pem]
+//	damctl submit --url http://127.0.0.1:8080 [--retries 3] [--submission-id id] [--tls-ca ca.pem] rep-000.jsonl shard.json blob.dpa ...
 //	damctl query  --url http://127.0.0.1:8080 --range 2,2,8,8 | --topk 5   (or --from-aggregate agg.json)
 //	damctl demo                   # before/after ASCII density maps
 package main
@@ -90,6 +90,12 @@ Commands:
             merged state crash-safe and restarts recover it)
   supervise run the fleet supervisor: route submissions across --member
             collectors and serve the hierarchically merged estimate
+
+            both daemons trace every request (W3C traceparent in, spans
+            out on GET /v1/traces, X-Dpspatial-Trace-Id echoed back),
+            log slow requests with --slow-ms/--log-format, gate pprof
+            behind --pprof, and terminate TLS with --tls-cert/--tls-key;
+            client commands trust a private CA via --tls-ca
   submit    ship report/aggregate shard files to a collector or
             supervisor (--url; --retries survives transient failures)
   query     answer a range (--range x0,y0,x1,y1) or top-k (--topk k)

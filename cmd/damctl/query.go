@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"strconv"
 	"strings"
 
@@ -23,6 +24,7 @@ func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	url := fs.String("url", "", "collector or supervisor base URL, e.g. http://127.0.0.1:8080")
 	authToken := fs.String("auth-token", "", "bearer token for a service running with --auth-token (with --url)")
+	tlsCA := fs.String("tls-ca", "", "PEM CA bundle to trust for an https:// --url")
 	fromAgg := fs.String("from-aggregate", "", "answer locally from a merged aggregate file instead of a service")
 	rangeStr := fs.String("range", "", "range query: x0,y0,x1,y1 (inclusive cell coordinates)")
 	topk := fs.Int("topk", 0, "top-k query: the k heaviest estimate cells")
@@ -56,6 +58,12 @@ func cmdQuery(args []string) error {
 	if *url != "" {
 		client := dpspatial.NewCollectorClient(*url)
 		client.AuthToken = *authToken
+		var httpc *http.Client
+		httpc, err = clientForCA(*tlsCA)
+		if err != nil {
+			return err
+		}
+		client.HTTPClient = httpc
 		resp, err = client.Query(context.Background(), req)
 	} else {
 		var hdr *collector.Pipeline

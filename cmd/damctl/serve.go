@@ -39,7 +39,15 @@ func cmdServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable state directory: snapshots + write-ahead log; a restart with the same directory recovers the merged state and the recent-ack log")
 	snapshotEvery := fs.Int("snapshot-every", 0, "WAL records between snapshots with --data-dir (0 = default, negative = snapshot only at shutdown)")
 	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics (behind --auth-token like the data endpoints)")
+	df := addDaemonFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := df.validate(); err != nil {
+		return err
+	}
+	slowLog, err := df.slowLogger()
+	if err != nil {
 		return err
 	}
 
@@ -47,6 +55,10 @@ func cmdServe(args []string) error {
 		Cadence:        *cadence,
 		AuthToken:      *authToken,
 		DisableMetrics: !*metricsOn,
+		DisableTraces:  df.tracingDisabled(),
+		TraceCapacity:  df.traceCapacity(),
+		SlowLog:        slowLog,
+		EnablePprof:    *df.pprof,
 		// Adopt the mechanism from the first submission's pipeline
 		// metadata (a report stream's header line, or the
 		// X-Dpspatial-Pipeline header on a binary aggregate POST).
@@ -93,10 +105,13 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	fmt.Printf("damctl: collector listening on http://%s (cadence %s)\n", ln.Addr(), *cadence)
+	go func() { errc <- df.serve(srv, ln) }()
+	fmt.Printf("damctl: collector listening on %s://%s (cadence %s)\n", df.scheme(), ln.Addr(), *cadence)
 	if *metricsOn {
-		fmt.Printf("damctl: metrics exposition at http://%s%s\n", ln.Addr(), collector.MetricsPath)
+		fmt.Printf("damctl: metrics exposition at %s://%s%s\n", df.scheme(), ln.Addr(), collector.MetricsPath)
+	}
+	if !df.tracingDisabled() {
+		fmt.Printf("damctl: trace buffer at %s://%s%s\n", df.scheme(), ln.Addr(), collector.TracesPath)
 	}
 	if cfg.Store != nil {
 		ds := cfg.Store.Stats()
@@ -124,6 +139,7 @@ func cmdSubmit(args []string) error {
 	retries := fs.Int("retries", 3, "retry a shard this many times on transient failures (5xx / connection refused), with doubling jittered backoff")
 	backoff := fs.Duration("retry-backoff", 100*time.Millisecond, "backoff window before the first retry")
 	submissionID := fs.String("submission-id", "", "explicit idempotency ID (single file only): re-running the same submission under the same ID merges exactly once, across restarts of either side")
+	tlsCA := fs.String("tls-ca", "", "PEM CA bundle to trust for an https:// --url (e.g. the fleet's self-signed --tls-cert)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,6 +157,11 @@ func cmdSubmit(args []string) error {
 	client.AuthToken = *authToken
 	client.MaxRetries = *retries
 	client.RetryBackoff = *backoff
+	httpc, err := clientForCA(*tlsCA)
+	if err != nil {
+		return err
+	}
+	client.HTTPClient = httpc
 	ctx := context.Background()
 	for _, path := range files {
 		id := *submissionID
@@ -159,8 +180,12 @@ func cmdSubmit(args []string) error {
 		if resp.Duplicate {
 			dup = " (duplicate: original ack replayed)"
 		}
-		fmt.Printf("%s: merged %g reports%s (total %g, generation %d)%s\n",
-			path, resp.Reports, via, resp.TotalReports, resp.Generation, dup)
+		tr := ""
+		if resp.TraceID != "" {
+			tr = fmt.Sprintf(" (trace %s)", resp.TraceID)
+		}
+		fmt.Printf("%s: merged %g reports%s (total %g, generation %d)%s%s\n",
+			path, resp.Reports, via, resp.TotalReports, resp.Generation, dup, tr)
 	}
 	return nil
 }
@@ -212,10 +237,16 @@ func submitFile(ctx context.Context, client *dpspatial.CollectorClient, path, id
 }
 
 // estimateFromURL fetches the current histogram from a collector or a
-// fleet supervisor (same protocol, so the flag is transparent).
-func estimateFromURL(url, authToken string) (*dpspatial.Histogram, error) {
+// fleet supervisor (same protocol, so the flag is transparent). caPath
+// optionally names a PEM CA bundle to trust for https:// URLs.
+func estimateFromURL(url, authToken, caPath string) (*dpspatial.Histogram, error) {
 	client := dpspatial.NewCollectorClient(url)
 	client.AuthToken = authToken
+	httpc, err := clientForCA(caPath)
+	if err != nil {
+		return nil, err
+	}
+	client.HTTPClient = httpc
 	est, _, err := client.Estimate(context.Background())
 	return est, err
 }

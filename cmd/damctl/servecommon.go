@@ -1,0 +1,136 @@
+package main
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"dpspatial/internal/trace"
+)
+
+// Flags shared by the two daemon subcommands (serve, supervise):
+// observability — slow-request logging, tracing buffer, gated pprof —
+// and TLS termination. Kept in one place so both daemons speak the same
+// operational dialect.
+
+type daemonFlags struct {
+	slowMs    *float64
+	logFormat *string
+	traceBuf  *int
+	pprof     *bool
+	tlsCert   *string
+	tlsKey    *string
+}
+
+func addDaemonFlags(fs *flag.FlagSet) *daemonFlags {
+	return &daemonFlags{
+		slowMs: fs.Float64("slow-ms", -1,
+			"log requests slower than this many milliseconds to stderr, with their trace ID (0 = every request, negative = disabled)"),
+		logFormat: fs.String("log-format", "text",
+			"slow-request log format: text or json"),
+		traceBuf: fs.Int("trace-buffer", 0,
+			"completed traces retained in memory for GET /v1/traces (0 = default, negative = disable tracing)"),
+		pprof: fs.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof/ (behind --auth-token like the data endpoints)"),
+		tlsCert: fs.String("tls-cert", "",
+			"serve HTTPS with this PEM certificate (requires --tls-key)"),
+		tlsKey: fs.String("tls-key", "",
+			"PEM private key for --tls-cert"),
+	}
+}
+
+// slowLogger builds the slow-request logger the flags describe, or nil
+// when disabled.
+func (d *daemonFlags) slowLogger() (*trace.SlowLogger, error) {
+	jsonFormat := false
+	switch *d.logFormat {
+	case "text":
+	case "json":
+		jsonFormat = true
+	default:
+		return nil, fmt.Errorf("unknown --log-format %q (want text or json)", *d.logFormat)
+	}
+	if *d.slowMs < 0 {
+		return nil, nil
+	}
+	return &trace.SlowLogger{
+		W:         os.Stderr,
+		Threshold: time.Duration(*d.slowMs * float64(time.Millisecond)),
+		JSON:      jsonFormat,
+	}, nil
+}
+
+// tracingDisabled reports whether --trace-buffer asked tracing off.
+func (d *daemonFlags) tracingDisabled() bool { return *d.traceBuf < 0 }
+
+// traceCapacity is the ring capacity to configure (0 = package default).
+func (d *daemonFlags) traceCapacity() int {
+	if *d.traceBuf < 0 {
+		return 0
+	}
+	return *d.traceBuf
+}
+
+// validate rejects inconsistent flag combinations early, before a
+// listener is bound.
+func (d *daemonFlags) validate() error {
+	if _, err := d.slowLogger(); err != nil {
+		return err
+	}
+	if (*d.tlsCert == "") != (*d.tlsKey == "") {
+		return fmt.Errorf("--tls-cert and --tls-key must be given together")
+	}
+	if *d.tlsCert != "" {
+		// Fail on an unreadable or mismatched pair now rather than at
+		// the first handshake.
+		if _, err := tls.LoadX509KeyPair(*d.tlsCert, *d.tlsKey); err != nil {
+			return fmt.Errorf("loading TLS key pair: %w", err)
+		}
+	}
+	return nil
+}
+
+// scheme is the URL scheme the daemon will answer on.
+func (d *daemonFlags) scheme() string {
+	if *d.tlsCert != "" {
+		return "https"
+	}
+	return "http"
+}
+
+// serve runs the HTTP server on ln, terminating TLS when a cert pair
+// was configured.
+func (d *daemonFlags) serve(srv *http.Server, ln net.Listener) error {
+	if *d.tlsCert != "" {
+		return srv.ServeTLS(ln, *d.tlsCert, *d.tlsKey)
+	}
+	return srv.Serve(ln)
+}
+
+// clientForCA builds the http.Client for the client-side
+// subcommands: with a --tls-ca file the returned client trusts exactly
+// that CA (for fleets serving a self-signed or private-CA certificate);
+// with an empty path it returns nil, meaning http.DefaultClient.
+func clientForCA(caPath string) (*http.Client, error) {
+	if caPath == "" {
+		return nil, nil
+	}
+	pem, err := os.ReadFile(caPath)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("%s: no PEM certificates found", caPath)
+	}
+	return &http.Client{
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: pool},
+		},
+	}, nil
+}

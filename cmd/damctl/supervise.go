@@ -53,11 +53,15 @@ func cmdSupervise(args []string) error {
 	minY := fs.Float64("miny", 0, "domain lower-left y (with --mech)")
 	side := fs.Float64("side", 1, "domain side length (with --mech)")
 	metricsOn := fs.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics (behind --auth-token like the data endpoints)")
+	df := addDaemonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(members) == 0 {
 		return fmt.Errorf("missing --member (at least one collector URL)")
+	}
+	if err := df.validate(); err != nil {
+		return err
 	}
 
 	opts := []dpspatial.FleetOption{
@@ -65,6 +69,10 @@ func cmdSupervise(args []string) error {
 		dpspatial.WithFleetCadence(*cadence),
 		dpspatial.WithFleetAuthToken(*authToken),
 		dpspatial.WithFleetMetrics(*metricsOn),
+		dpspatial.WithFleetTracing(!df.tracingDisabled()),
+		dpspatial.WithFleetTraceBuffer(df.traceCapacity()),
+		dpspatial.WithFleetSlowLog(time.Duration(*df.slowMs*float64(time.Millisecond)), *df.logFormat == "json"),
+		dpspatial.WithFleetPprof(*df.pprof),
 	}
 	var sup *dpspatial.FleetSupervisor
 	var err error
@@ -92,11 +100,14 @@ func cmdSupervise(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	fmt.Printf("damctl: fleet supervisor listening on http://%s (%d members, %s routing, cadence %s)\n",
-		ln.Addr(), len(members), *policy, *cadence)
+	go func() { errc <- df.serve(srv, ln) }()
+	fmt.Printf("damctl: fleet supervisor listening on %s://%s (%d members, %s routing, cadence %s)\n",
+		df.scheme(), ln.Addr(), len(members), *policy, *cadence)
 	if *metricsOn {
-		fmt.Printf("damctl: metrics exposition at http://%s/metrics\n", ln.Addr())
+		fmt.Printf("damctl: metrics exposition at %s://%s/metrics\n", df.scheme(), ln.Addr())
+	}
+	if !df.tracingDisabled() {
+		fmt.Printf("damctl: trace buffer at %s://%s/v1/traces\n", df.scheme(), ln.Addr())
 	}
 
 	select {

@@ -17,6 +17,7 @@ import (
 
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/trace"
 )
 
 // Client talks to a collector service (or a fleet supervisor, which
@@ -89,6 +90,14 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, header http.Header, out any) error {
+	// Propagate W3C trace context. A server-side caller (the supervisor
+	// forwarding a submission) already carries a span or remote context;
+	// a bare client mints a fresh one HERE, outside the retry loop, so
+	// every retry of one logical request shares one trace ID and the
+	// whole distributed exchange is attributable end to end.
+	if _, ok := trace.Outgoing(ctx); !ok {
+		ctx = trace.ContextWithRemote(ctx, trace.NewSpanContext())
+	}
 	var bodyBytes []byte
 	canRetry := true
 	if body != nil && c.MaxRetries > 0 {
@@ -205,6 +214,9 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 	}
 	if c.AuthToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.AuthToken)
+	}
+	if sc, ok := trace.Outgoing(ctx); ok {
+		req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
 	}
 	for k, vs := range header {
 		for _, v := range vs {

@@ -17,10 +17,12 @@ package collector
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"dpspatial/internal/grid"
 	"dpspatial/internal/metrics"
 	"dpspatial/internal/rangequery"
+	"dpspatial/internal/trace"
 )
 
 // Estimator is the mechanism surface the collector needs: the client
@@ -95,6 +98,20 @@ type Config struct {
 	// DisableMetrics leaves GET /metrics unrouted (404). The collector
 	// still accounts internally; only the exposition endpoint is gated.
 	DisableMetrics bool
+	// DisableTraces turns request tracing off entirely: no spans are
+	// recorded and GET /v1/traces is unrouted (404). Enabled by default
+	// because span recording is allocation-light.
+	DisableTraces bool
+	// TraceCapacity bounds the completed-trace ring GET /v1/traces
+	// serves (0 = trace.DefaultCapacity).
+	TraceCapacity int
+	// SlowLog, when non-nil, emits one structured log line (carrying
+	// the trace ID) per request at or over its threshold.
+	SlowLog *trace.SlowLogger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — behind
+	// the same bearer gate as the data endpoints, and excluded from
+	// request accounting and tracing. Off by default.
+	EnablePprof bool
 }
 
 // DefaultSnapshotEvery is the snapshot cadence applied when a durable
@@ -159,6 +176,11 @@ type Collector struct {
 	reg *metrics.Registry
 	met *ServiceMetrics
 
+	// tracer records per-request span trees into the bounded ring GET
+	// /v1/traces serves; nil when tracing is disabled (every span call
+	// no-ops on nil).
+	tracer *trace.Tracer
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -188,6 +210,9 @@ func New(cfg Config) (*Collector, error) {
 	}
 	c.stats.CadenceMillis = cfg.Cadence.Milliseconds()
 	c.registerCollectorMetrics()
+	if !cfg.DisableTraces {
+		c.tracer = trace.NewTracer("collector", cfg.TraceCapacity)
+	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
 	c.mux.HandleFunc("/v1/report", c.handleReport)
@@ -198,14 +223,39 @@ func New(cfg Config) (*Collector, error) {
 	if !cfg.DisableMetrics {
 		c.mux.Handle(MetricsPath, c.reg.Handler())
 	}
-	c.handler = InstrumentHTTP(c.met, RequireBearer(cfg.AuthToken, c.mux))
+	if c.tracer != nil {
+		c.mux.Handle(TracesPath, c.tracer.Handler())
+	}
+	if cfg.EnablePprof {
+		MountPprof(c.mux)
+	}
+	c.handler = trace.Middleware(c.tracer, cfg.SlowLog, UntracedPath,
+		InstrumentHTTP(c.met, RequireBearer(cfg.AuthToken, c.mux)))
 	return c, nil
+}
+
+// MountPprof routes net/http/pprof's handlers under PprofPathPrefix on
+// the mux. Both tiers mount it INSIDE their bearer gate — profiling
+// data leaks code layout and timing, so it gets the same secret as the
+// data endpoints — and outside their request accounting and tracing, so
+// enabling a profile run perturbs neither the /metrics series nor the
+// trace ring.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc(PprofPathPrefix, pprof.Index)
+	mux.HandleFunc(PprofPathPrefix+"cmdline", pprof.Cmdline)
+	mux.HandleFunc(PprofPathPrefix+"profile", pprof.Profile)
+	mux.HandleFunc(PprofPathPrefix+"symbol", pprof.Symbol)
+	mux.HandleFunc(PprofPathPrefix+"trace", pprof.Trace)
 }
 
 // ServeHTTP implements http.Handler.
 func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.handler.ServeHTTP(w, r)
 }
+
+// Tracer exposes the collector's completed-trace ring — nil when the
+// collector was built with DisableTraces.
+func (c *Collector) Tracer() *trace.Tracer { return c.tracer }
 
 // Start launches the background merge-cadence loop. It is a no-op when
 // the configured cadence is zero.
@@ -224,8 +274,8 @@ func (c *Collector) Start() {
 				return
 			case <-ticker.C:
 				// Refresh errors surface on the next GET; the loop only
-				// keeps the estimate warm.
-				_, _ = c.refresh()
+				// keeps the estimate warm. No request, so no trace.
+				_, _ = c.refresh(context.Background())
 			}
 		}
 	}()
@@ -356,12 +406,17 @@ func (c *Collector) checkAndPinPipelineLocked(p *Pipeline) error {
 // and since the shard already passed Compatible (a superset of Merge's
 // checks) the merge after a successful append cannot fail, keeping
 // memory and disk in lockstep.
-func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimator, adopted bool, id string, kind shardKind) (SubmitResponse, error) {
+func (c *Collector) commitShard(ctx context.Context, shard *fo.Aggregate, hdr *Pipeline, mech Estimator, adopted bool, id string, kind shardKind) (SubmitResponse, error) {
+	span := trace.SpanFrom(ctx)
+	span.SetAttr(trace.String("submissionId", id), trace.String("shardKind", kind.String()))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.acks.Get(id); ok {
 		c.stats.DuplicateShards++
 		c.met.Submissions.With(SubmissionDuplicate).Inc()
+		// The replayed ack carries the ORIGINAL submission's trace ID —
+		// the one whose trace actually holds the merge spans.
+		span.Event("duplicate.replay", trace.String("originalTraceId", prev.TraceID))
 		return prev, nil
 	}
 	if adopted {
@@ -380,18 +435,30 @@ func (c *Collector) commitShard(shard *fo.Aggregate, hdr *Pipeline, mech Estimat
 		Reports:      shard.N,
 		TotalReports: c.agg.N + shard.N,
 		Generation:   c.generation + 1,
+		TraceID:      span.TraceID(),
 	}
-	if err := c.persistShardLocked(shard, resp, id, kind); err != nil {
+	if err := c.persistShardLocked(span, shard, resp, id, kind); err != nil {
 		return SubmitResponse{}, err
 	}
+	mergeSpan := span.Child("collector.merge")
 	if err := c.agg.Merge(shard); err != nil {
+		mergeSpan.Fail(err)
+		mergeSpan.End()
 		return SubmitResponse{}, err
 	}
 	c.generation++
+	mergeSpan.SetAttr(
+		trace.Float("reports", shard.N),
+		trace.Float("totalReports", c.agg.N),
+		trace.Int("generation", int64(c.generation)),
+	)
+	mergeSpan.End()
 	c.stats.Generation = c.generation
 	c.stats.Reports = c.agg.N
 	kind.count(&c.stats)
+	ackSpan := span.Child("collector.ack")
 	c.acks.Put(id, resp)
+	ackSpan.End()
 	c.met.Submissions.With(SubmissionAccepted).Inc()
 	c.maybeSnapshotLocked()
 	return resp, nil
@@ -407,6 +474,9 @@ func (c *Collector) replayedAck(r *http.Request) (SubmitResponse, bool) {
 	if ok {
 		c.stats.DuplicateShards++
 		c.met.Submissions.With(SubmissionDuplicate).Inc()
+		span := trace.SpanFrom(r.Context())
+		span.SetAttr(trace.String("submissionId", id))
+		span.Event("duplicate.replay", trace.String("originalTraceId", prev.TraceID))
 	}
 	return prev, ok
 }
@@ -425,8 +495,11 @@ type estimateState struct {
 // most once. The first decode is cold (EstimateFromAggregate semantics);
 // later decodes warm-start from the previous estimate when the mechanism
 // supports it. It returns the current estimate and the generation it was
-// decoded from.
-func (c *Collector) refresh() (estimateState, error) {
+// decoded from. A traced request context hangs a cache-hit event or an
+// EM-decode span off its active span; background callers pass
+// context.Background() and record nothing.
+func (c *Collector) refresh(ctx context.Context) (estimateState, error) {
+	span := trace.SpanFrom(ctx)
 	c.decodeMu.Lock()
 	defer c.decodeMu.Unlock()
 
@@ -443,6 +516,7 @@ func (c *Collector) refresh() (estimateState, error) {
 		cur := estimateState{est: c.est, gen: c.estGen, n: c.estN, iters: c.estIters, warm: c.estWarm}
 		c.mu.Unlock()
 		c.met.QueryCacheHits.With(CacheEstimate).Inc()
+		span.Event("estimate.cache.hit", trace.Int("generation", int64(cur.gen)))
 		return cur, nil
 	}
 	// Snapshot under the lock, decode outside it: submissions keep
@@ -454,12 +528,25 @@ func (c *Collector) refresh() (estimateState, error) {
 	c.mu.Unlock()
 	c.met.QueryCacheMisses.With(CacheEstimate).Inc()
 
+	decodeSpan := span.Child("collector.em.decode")
 	t0 := time.Now()
 	est, iters, warm, err := DecodeEstimate(mech, snapshot, init)
 	if err != nil {
+		decodeSpan.Fail(err)
+		decodeSpan.End()
 		return estimateState{}, err
 	}
 	elapsed := time.Since(t0)
+	mode := "cold"
+	if warm {
+		mode = "warm"
+	}
+	decodeSpan.SetAttr(
+		trace.String("mode", mode),
+		trace.Int("iterations", int64(iters)),
+		trace.Int("generation", int64(snapGen)),
+	)
+	decodeSpan.End()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -523,6 +610,12 @@ func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, &prev)
 		return
 	}
+	// The body-read span covers probing, parsing and counting the whole
+	// stream into the shard aggregate. End is idempotent: the success
+	// path ends it with the report count, the deferred call closes it on
+	// every early (4xx) return.
+	readSpan := trace.SpanFrom(r.Context()).Child("collector.body.read")
+	defer readSpan.End()
 	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes), 1<<20)
 	first, err := br.ReadBytes('\n')
 	if err != nil && len(first) == 0 {
@@ -589,8 +682,10 @@ func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	readSpan.SetAttr(trace.Float("reports", shard.N))
+	readSpan.End()
 
-	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), shardReport)
+	resp, err := c.commitShard(r.Context(), shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), shardReport)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -614,6 +709,8 @@ func (c *Collector) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, &prev)
 		return
 	}
+	readSpan := trace.SpanFrom(r.Context()).Child("collector.body.read")
+	defer readSpan.End()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
@@ -624,6 +721,8 @@ func (c *Collector) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	readSpan.SetAttr(trace.Int("bodyBytes", int64(len(body))), trace.Float("reports", shard.N))
+	readSpan.End()
 	var hdr *Pipeline
 	if raw := r.Header.Get(PipelineHeader); raw != "" {
 		hdr = &Pipeline{}
@@ -643,7 +742,7 @@ func (c *Collector) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
-	resp, err := c.commitShard(shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), shardAggregate)
+	resp, err := c.commitShard(r.Context(), shard, hdr, mech, adopted, r.Header.Get(SubmissionIDHeader), shardAggregate)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -684,7 +783,7 @@ func (c *Collector) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
-	cur, err := c.refresh()
+	cur, err := c.refresh(r.Context())
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return

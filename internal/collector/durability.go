@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"dpspatial/internal/durable"
 	"dpspatial/internal/fo"
+	"dpspatial/internal/trace"
 )
 
 // The collector's durable-state formats, layered over the generic
@@ -254,7 +256,7 @@ func (c *Collector) installRecoveredMechanism(scheme string, p *Pipeline) error 
 // submission is durable, and since shard.Compatible already passed, the
 // merge that follows cannot fail, so memory and disk cannot diverge.
 // Callers hold mu.
-func (c *Collector) persistShardLocked(shard *fo.Aggregate, resp SubmitResponse, id string, kind shardKind) error {
+func (c *Collector) persistShardLocked(span *trace.Span, shard *fo.Aggregate, resp SubmitResponse, id string, kind shardKind) error {
 	if c.store == nil {
 		return nil
 	}
@@ -275,9 +277,19 @@ func (c *Collector) persistShardLocked(shard *fo.Aggregate, resp SubmitResponse,
 		return &storeError{err}
 	}
 	recs = append(recs, durable.Record{Type: durable.RecordSubmission, ID: id, Meta: env, Blob: blob})
-	if err := c.store.Append(recs...); err != nil {
+	walSpan := span.Child("collector.wal.append")
+	info, err := c.store.Append(recs...)
+	if err != nil {
+		walSpan.Fail(err)
+		walSpan.End()
 		return &storeError{err}
 	}
+	walSpan.SetAttr(
+		trace.Int("walRecords", int64(info.Records)),
+		trace.Int("walBytes", info.Bytes),
+		trace.Float("fsyncMs", float64(info.Fsync)/float64(time.Millisecond)),
+	)
+	walSpan.End()
 	c.pipelinePersisted = c.pipeline != nil
 	return nil
 }

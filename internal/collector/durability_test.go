@@ -321,7 +321,7 @@ func TestDurableRefusesCorruptState(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer st.Close()
-		if err := st.Append(
+		if _, err := st.Append(
 			durable.Record{Type: durable.RecordPipeline, Meta: pipelineJSON(t, pip)},
 			sub,
 		); err != nil {

@@ -16,11 +16,34 @@ import (
 // what keeps one dashboard valid against both tiers.
 
 // MetricsPath is the exposition endpoint both tiers serve. It sits
-// behind the same bearer-token gate as the data endpoints, and is the
-// one path InstrumentHTTP does NOT count — scraping must not perturb
-// the series being scraped, or two scrapes of a quiesced service could
-// never be byte-identical.
+// behind the same bearer-token gate as the data endpoints, and is one
+// of the paths InstrumentHTTP does NOT count — scraping must not
+// perturb the series being scraped, or two scrapes of a quiesced
+// service could never be byte-identical.
 const MetricsPath = "/metrics"
+
+// TracesPath is the completed-trace ring endpoint both tiers serve
+// (GET, JSON, newest first; ?min_ms= / ?outcome= / ?limit= filters).
+// Like MetricsPath it sits behind the bearer gate and is excluded from
+// request accounting AND tracing: dumping the ring must not push new
+// traces into it or perturb the /metrics series.
+const TracesPath = "/v1/traces"
+
+// PprofPathPrefix is where --pprof mounts net/http/pprof on both tiers
+// — behind the bearer gate, excluded from accounting and tracing, and
+// collapsed out of the path label space so profiling endpoints cannot
+// widen metric cardinality.
+const PprofPathPrefix = "/debug/pprof/"
+
+// UntracedPath reports the paths the tracing middleware must pass
+// through unrecorded: the observability surfaces themselves (metrics,
+// traces, pprof) — reading them must not generate entries in what they
+// expose — and health probes, whose per-cadence noise would evict every
+// interesting trace from the bounded ring.
+func UntracedPath(p string) bool {
+	return p == MetricsPath || p == TracesPath || p == "/healthz" ||
+		len(p) >= len(PprofPathPrefix) && p[:len(PprofPathPrefix)] == PprofPathPrefix
+}
 
 // Submission-outcome label values of dpspatial_submissions_total.
 const (
@@ -191,11 +214,15 @@ func normalizePath(p string) string {
 // per-path request and latency series, plus the refused-submission and
 // refused-query counters derived from the response status — which is
 // what guarantees every writeError path in every handler is covered
-// without instrumenting each one. Requests to MetricsPath pass through
-// uncounted.
+// without instrumenting each one. Requests to MetricsPath, TracesPath
+// and the pprof prefix pass through uncounted: scraping any
+// observability surface must leave the request series byte-identical —
+// the same exclusion set the tracing middleware applies (UntracedPath
+// minus /healthz, which IS counted, just never traced).
 func InstrumentHTTP(m *ServiceMetrics, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == MetricsPath {
+		if p := r.URL.Path; p == MetricsPath || p == TracesPath ||
+			len(p) >= len(PprofPathPrefix) && p[:len(PprofPathPrefix)] == PprofPathPrefix {
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -12,6 +12,7 @@ import (
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
 	"dpspatial/internal/rangequery"
+	"dpspatial/internal/trace"
 )
 
 // GET /v1/query serves analyst queries straight from the collector's
@@ -274,7 +275,7 @@ func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := c.answerQuery(req)
+	resp, err := c.answerQuery(r.Context(), req)
 	if err != nil {
 		status := http.StatusConflict
 		if errors.As(err, new(*BadQueryError)) {
@@ -288,8 +289,9 @@ func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // answerQuery picks the answering basis for the locked mechanism and
-// brings the matching decode up to the current generation.
-func (c *Collector) answerQuery(req QueryRequest) (*QueryResponse, error) {
+// brings the matching decode up to the current generation. The context
+// threads the request's trace span into the decode paths.
+func (c *Collector) answerQuery(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	c.mu.Lock()
 	mech := c.mech
 	c.mu.Unlock()
@@ -297,13 +299,13 @@ func (c *Collector) answerQuery(req QueryRequest) (*QueryResponse, error) {
 		return nil, fmt.Errorf("collector has no mechanism yet")
 	}
 	if te, ok := mech.(TreeEstimator); ok && req.Type == QueryTypeRange {
-		tree, gen, n, err := c.rangeTree(te)
+		tree, gen, n, err := c.rangeTree(ctx, te)
 		if err != nil {
 			return nil, err
 		}
 		return AnswerQuery(req, mech.Scheme(), gen, n, tree, nil)
 	}
-	cur, err := c.refresh()
+	cur, err := c.refresh(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +317,8 @@ func (c *Collector) answerQuery(req QueryRequest) (*QueryResponse, error) {
 // generation, which invalidates the cached tree on the next query.
 // decodeMu serialises the decode with estimate refreshes so concurrent
 // queries never duplicate work.
-func (c *Collector) rangeTree(te TreeEstimator) (*rangequery.Quadtree, uint64, float64, error) {
+func (c *Collector) rangeTree(ctx context.Context, te TreeEstimator) (*rangequery.Quadtree, uint64, float64, error) {
+	span := trace.SpanFrom(ctx)
 	c.decodeMu.Lock()
 	defer c.decodeMu.Unlock()
 	c.mu.Lock()
@@ -323,6 +326,7 @@ func (c *Collector) rangeTree(te TreeEstimator) (*rangequery.Quadtree, uint64, f
 		t, gen, n := c.queryTree, c.queryTreeGen, c.queryTreeN
 		c.mu.Unlock()
 		c.met.QueryCacheHits.With(CacheTree).Inc()
+		span.Event("tree.cache.hit", trace.Int("generation", int64(gen)))
 		return t, gen, n, nil
 	}
 	if c.agg.N == 0 {
@@ -333,10 +337,15 @@ func (c *Collector) rangeTree(te TreeEstimator) (*rangequery.Quadtree, uint64, f
 	gen := c.generation
 	c.mu.Unlock()
 	c.met.QueryCacheMisses.With(CacheTree).Inc()
+	treeSpan := span.Child("collector.tree.decode")
 	tree, _, err := te.EstimateTreeFromAggregate(snapshot)
 	if err != nil {
+		treeSpan.Fail(err)
+		treeSpan.End()
 		return nil, 0, 0, err
 	}
+	treeSpan.SetAttr(trace.Int("generation", int64(gen)))
+	treeSpan.End()
 	c.mu.Lock()
 	c.queryTree, c.queryTreeGen, c.queryTreeN = tree, gen, snapshot.N
 	c.mu.Unlock()

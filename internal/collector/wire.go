@@ -97,6 +97,12 @@ type SubmitResponse struct {
 	// state an estimate was decoded from. A fleet supervisor reports its
 	// own routed-submission count here.
 	Generation uint64 `json:"generation"`
+	// TraceID is the distributed trace ID of the request that first
+	// merged this submission — the key into GET /v1/traces at every
+	// tier the submission crossed. A replayed (Duplicate) ack carries
+	// the ORIGINAL submission's trace ID, whose trace holds the merge
+	// spans; empty on collectors running with tracing disabled.
+	TraceID string `json:"traceId,omitempty"`
 	// Member, set only by a fleet supervisor, is the base URL of the
 	// collector the submission was routed to.
 	Member string `json:"member,omitempty"`

@@ -287,14 +287,27 @@ func (s *Store) NoteRecovered() {
 	s.stats.RecoveryMillis = time.Since(s.recoverT0).Milliseconds()
 }
 
+// AppendInfo describes one completed Append batch — the span hook the
+// tracing layer hangs WAL attributes off (bytes framed, records
+// written, time spent inside the fsync).
+type AppendInfo struct {
+	// Records is the number of records framed into the batch.
+	Records int
+	// Bytes is the framed batch size written to the WAL.
+	Bytes int64
+	// Fsync is the wall-clock duration of the batch's fsync alone.
+	Fsync time.Duration
+}
+
 // Append assigns sequence numbers to the records, writes them as one
 // CRC-framed batch, and fsyncs before returning — the caller may
 // acknowledge the submission only after Append returns nil. On error
 // the on-disk state is at worst a torn tail, which the next Open
-// discards.
-func (s *Store) Append(recs ...Record) error {
+// discards. The returned AppendInfo sizes the batch and its fsync for
+// the caller's tracing span; it is zero on error.
+func (s *Store) Append(recs ...Record) (AppendInfo, error) {
 	if len(recs) == 0 {
-		return nil
+		return AppendInfo{}, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -305,18 +318,20 @@ func (s *Store) Append(recs ...Record) error {
 	}
 	if _, err := s.wal.Write(buf); err != nil {
 		s.stats.LastError = err.Error()
-		return fmt.Errorf("durable: WAL append: %w", err)
+		return AppendInfo{}, fmt.Errorf("durable: WAL append: %w", err)
 	}
+	syncT0 := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		s.stats.LastError = err.Error()
-		return fmt.Errorf("durable: WAL fsync: %w", err)
+		return AppendInfo{}, fmt.Errorf("durable: WAL fsync: %w", err)
 	}
+	syncD := time.Since(syncT0)
 	s.seq += uint64(len(recs))
 	s.walBytes += int64(len(buf))
 	s.stats.RecordsAppended += uint64(len(recs))
 	s.stats.WALFsyncs++
 	s.stats.WALBytesWritten += uint64(len(buf))
-	return nil
+	return AppendInfo{Records: len(recs), Bytes: int64(len(buf)), Fsync: syncD}, nil
 }
 
 // RecordsSinceSnapshot reports the replay cost of a crash right now —

@@ -83,9 +83,16 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 	want := testRecords(5)
 	for i := range want {
-		if err := st.Append(want[i]); err != nil {
+		info, err := st.Append(want[i])
+		if err != nil {
 			t.Fatal(err)
 		}
+		if info.Records != 1 || info.Bytes <= 0 {
+			t.Fatalf("AppendInfo = %+v, want 1 record with positive bytes", info)
+		}
+	}
+	if info, err := st.Append(); err != nil || info != (AppendInfo{}) {
+		t.Fatalf("empty Append = %+v, %v; want zero info, nil error", info, err)
 	}
 	// Simulate a crash: reopen without Close.
 	st2 := mustOpen(t, dir)
@@ -109,7 +116,7 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatal("TakeRecovery must return nil the second time")
 	}
 	// Appends continue the sequence after recovery.
-	if err := st2.Append(Record{Type: RecordPipeline, Meta: []byte("p")}); err != nil {
+	if _, err := st2.Append(Record{Type: RecordPipeline, Meta: []byte("p")}); err != nil {
 		t.Fatal(err)
 	}
 	st3 := mustOpen(t, dir)
@@ -124,7 +131,7 @@ func TestSnapshotRoundTripAndWALReset(t *testing.T) {
 	st := mustOpen(t, dir)
 	st.TakeRecovery()
 	for _, r := range testRecords(3) {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -136,7 +143,7 @@ func TestSnapshotRoundTripAndWALReset(t *testing.T) {
 		t.Fatalf("RecordsSinceSnapshot = %d after snapshot", n)
 	}
 	// Two post-snapshot records must replay on top of the snapshot.
-	if err := st.Append(Record{Type: RecordSubmission, ID: "after"}); err != nil {
+	if _, err := st.Append(Record{Type: RecordSubmission, ID: "after"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -163,7 +170,7 @@ func TestStatsSurface(t *testing.T) {
 	if s := st.Stats(); s.SnapshotAgeMillis != -1 {
 		t.Fatalf("SnapshotAgeMillis = %d before any snapshot", s.SnapshotAgeMillis)
 	}
-	if err := st.Append(testRecords(2)...); err != nil {
+	if _, err := st.Append(testRecords(2)...); err != nil {
 		t.Fatal(err)
 	}
 	s := st.Stats()
@@ -190,7 +197,7 @@ func TestTornTailToleratedAtEveryOffset(t *testing.T) {
 	st.TakeRecovery()
 	recs := testRecords(3)
 	for _, r := range recs {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -229,7 +236,7 @@ func TestTornTailToleratedAtEveryOffset(t *testing.T) {
 		if fi, err := os.Stat(filepath.Join(dir, WALFile)); err != nil || fi.Size() != ends[2] {
 			t.Fatalf("cut at %d: WAL size %d after open, want %d", cut, fi.Size(), ends[2])
 		}
-		if err := st2.Append(Record{Type: RecordSubmission, ID: "new"}); err != nil {
+		if _, err := st2.Append(Record{Type: RecordSubmission, ID: "new"}); err != nil {
 			t.Fatal(err)
 		}
 		st3 := mustOpen(t, dir)
@@ -245,7 +252,7 @@ func TestCorruptFinalRecordTreatedAsTorn(t *testing.T) {
 	st := mustOpen(t, dir)
 	st.TakeRecovery()
 	for _, r := range testRecords(2) {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -272,7 +279,7 @@ func TestBadCRCMidLogRefuses(t *testing.T) {
 	st := mustOpen(t, dir)
 	st.TakeRecovery()
 	for _, r := range testRecords(3) {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -297,7 +304,7 @@ func TestSequenceGapRefuses(t *testing.T) {
 	st := mustOpen(t, dir)
 	st.TakeRecovery()
 	for _, r := range testRecords(3) {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -323,7 +330,7 @@ func TestCorruptSnapshotRefuses(t *testing.T) {
 	dir := t.TempDir()
 	st := mustOpen(t, dir)
 	st.TakeRecovery()
-	if err := st.Append(testRecords(1)[0]); err != nil {
+	if _, err := st.Append(testRecords(1)[0]); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.WriteSnapshot([]byte("m"), []byte("s"), nil); err != nil {
@@ -358,7 +365,7 @@ func TestCrashBeforeSnapshotRenameKeepsOldState(t *testing.T) {
 	st := mustOpen(t, dir)
 	st.TakeRecovery()
 	for _, r := range testRecords(2) {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -386,7 +393,7 @@ func TestCrashAfterSnapshotRenameSkipsCoveredRecords(t *testing.T) {
 	st := mustOpen(t, dir)
 	st.TakeRecovery()
 	for _, r := range testRecords(2) {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -406,7 +413,7 @@ func TestCrashAfterSnapshotRenameSkipsCoveredRecords(t *testing.T) {
 		t.Fatalf("covered records replayed twice: %+v", rec.Records)
 	}
 	// New appends continue above the snapshot sequence.
-	if err := st2.Append(Record{Type: RecordSubmission, ID: "post"}); err != nil {
+	if _, err := st2.Append(Record{Type: RecordSubmission, ID: "post"}); err != nil {
 		t.Fatal(err)
 	}
 	st3 := mustOpen(t, dir)

@@ -13,6 +13,7 @@ import (
 	"dpspatial/internal/collector"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/trace"
 )
 
 // The merge loop: the supervisor never sees individual reports after
@@ -84,6 +85,11 @@ func (s *Supervisor) pullMerged(ctx context.Context) (*fo.Aggregate, uint64, err
 	if mech == nil {
 		return nil, 0, errNoMechanism
 	}
+	// One span covers the whole fan-out pull + fold; a traced request
+	// context records it, the cadence loop's background context no-ops.
+	pullSpan := trace.SpanFrom(ctx).Child("fleet.pull")
+	defer pullSpan.End()
+	pullSpan.SetAttr(trace.Int("members", int64(len(s.members))))
 	// Fetch every member concurrently — one slow member then delays the
 	// pull by its own latency, not the fleet's sum — and fold the
 	// results in fleet order, so the merge and its hash stay
@@ -188,6 +194,7 @@ func (s *Supervisor) refresh(ctx context.Context) (estimateState, error) {
 		cur := estimateState{est: s.est, gen: s.estGen, n: s.estN, iters: s.estIters, warm: s.estWarm}
 		s.mu.Unlock()
 		s.met.QueryCacheHits.With(collector.CacheEstimate).Inc()
+		trace.SpanFrom(ctx).Event("estimate.cache.hit", trace.Int("generation", int64(cur.gen)))
 		return cur, nil
 	}
 	init := s.est
@@ -196,12 +203,21 @@ func (s *Supervisor) refresh(ctx context.Context) (estimateState, error) {
 	s.mu.Unlock()
 	s.met.QueryCacheMisses.With(collector.CacheEstimate).Inc()
 
+	decodeSpan := trace.SpanFrom(ctx).Child("fleet.em.decode")
 	t0 := time.Now()
 	est, iters, warm, err := collector.DecodeEstimate(mech, merged, init)
 	if err != nil {
+		decodeSpan.Fail(err)
+		decodeSpan.End()
 		return estimateState{}, err
 	}
 	elapsed := time.Since(t0)
+	mode := collector.DecodeCold
+	if warm {
+		mode = collector.DecodeWarm
+	}
+	decodeSpan.SetAttr(trace.String("mode", mode), trace.Int("iterations", int64(iters)))
+	decodeSpan.End()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -46,6 +46,7 @@ import (
 	"dpspatial/internal/grid"
 	"dpspatial/internal/metrics"
 	"dpspatial/internal/rangequery"
+	"dpspatial/internal/trace"
 )
 
 // Config configures a fleet supervisor.
@@ -86,6 +87,18 @@ type Config struct {
 	// DisableMetrics leaves GET /metrics unrouted (404). The supervisor
 	// still accounts internally; only the exposition endpoint is gated.
 	DisableMetrics bool
+	// DisableTraces turns request tracing off entirely: no spans are
+	// recorded and GET /v1/traces is unrouted (404).
+	DisableTraces bool
+	// TraceCapacity bounds the completed-trace ring GET /v1/traces
+	// serves (0 = trace.DefaultCapacity).
+	TraceCapacity int
+	// SlowLog, when non-nil, emits one structured log line (carrying
+	// the trace ID) per request at or over its threshold.
+	SlowLog *trace.SlowLogger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ behind the
+	// bearer gate, excluded from accounting and tracing. Off by default.
+	EnablePprof bool
 }
 
 // Supervisor is the fleet daemon. It implements http.Handler; run it
@@ -140,6 +153,11 @@ type Supervisor struct {
 	met            *collector.ServiceMetrics
 	fleetFailovers *metrics.Counter
 	stateHashGens  *metrics.Counter
+
+	// tracer records per-request span trees (root per request, child per
+	// routed attempt) into the ring GET /v1/traces serves; nil when
+	// tracing is disabled.
+	tracer *trace.Tracer
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -205,9 +223,21 @@ func New(cfg Config) (*Supervisor, error) {
 	if !cfg.DisableMetrics {
 		s.mux.Handle(collector.MetricsPath, s.reg.Handler())
 	}
-	s.handler = collector.InstrumentHTTP(s.met, collector.RequireBearer(cfg.AuthToken, s.mux))
+	if !cfg.DisableTraces {
+		s.tracer = trace.NewTracer("supervisor", cfg.TraceCapacity)
+		s.mux.Handle(collector.TracesPath, s.tracer.Handler())
+	}
+	if cfg.EnablePprof {
+		collector.MountPprof(s.mux)
+	}
+	s.handler = trace.Middleware(s.tracer, cfg.SlowLog, collector.UntracedPath,
+		collector.InstrumentHTTP(s.met, collector.RequireBearer(cfg.AuthToken, s.mux)))
 	return s, nil
 }
+
+// Tracer exposes the supervisor's completed-trace ring — nil when the
+// supervisor was built with DisableTraces.
+func (s *Supervisor) Tracer() *trace.Tracer { return s.tracer }
 
 // ServeHTTP implements http.Handler.
 func (s *Supervisor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -372,10 +402,12 @@ func (s *Supervisor) handleAggregate(w http.ResponseWriter, r *http.Request) {
 // recognised as a replay and may merge again — the Client and damctl
 // always send one.
 func (s *Supervisor) routeSubmission(w http.ResponseWriter, r *http.Request, kind submissionKind, body []byte, hdr *collector.Pipeline, bodyHasHdr bool) {
+	span := trace.SpanFrom(r.Context())
 	id := r.Header.Get(collector.SubmissionIDHeader)
 	if id == "" {
 		id = collector.NewSubmissionID()
 	}
+	span.SetAttr(trace.String("submissionId", id), trace.String("shardKind", kind.String()))
 	w.Header().Set(collector.SubmissionIDHeader, id)
 	// Reserve the ID before forwarding: a concurrent submission with
 	// the same ID would otherwise also miss the ack log and be routed —
@@ -386,6 +418,7 @@ func (s *Supervisor) routeSubmission(w http.ResponseWriter, r *http.Request, kin
 		s.stats.Duplicates++
 		s.met.Submissions.With(collector.SubmissionDuplicate).Inc()
 		s.mu.Unlock()
+		span.Event("duplicate.replay", trace.String("originalTraceId", prev.TraceID))
 		collector.WriteJSON(w, http.StatusOK, &prev)
 		return
 	}
@@ -394,6 +427,7 @@ func (s *Supervisor) routeSubmission(w http.ResponseWriter, r *http.Request, kin
 		// The concurrent attempt's outcome is undetermined, so mark the
 		// refusal for any supervisor one tier up.
 		w.Header().Set(collector.SubmissionStateHeader, collector.SubmissionStateUnknown)
+		span.Event("inflight.conflict")
 		collector.WriteError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("a submission with this ID is already in flight; retry to collect its ack"))
 		return
@@ -500,6 +534,12 @@ func (s *Supervisor) routeSubmission(w http.ResponseWriter, r *http.Request, kin
 		m.noteNonEmpty()
 	}
 	resp.Member = m.url
+	// The member echoes the shared trace ID when it traces; when it does
+	// not (tracing disabled downstream), stamp the supervisor's own so
+	// the client always gets a usable /v1/traces key.
+	if tid := span.TraceID(); tid != "" && resp.TraceID == "" {
+		resp.TraceID = tid
+	}
 	s.acks.Put(id, *resp)
 	delete(s.sticky, id)
 	s.mu.Unlock()
@@ -562,6 +602,7 @@ func marshalHeaderLine(p *collector.Pipeline) ([]byte, error) {
 // routeBody is the submission as the client sent it (before any header
 // injection), so the hash policy keys on the client's bytes.
 func (s *Supervisor) forward(ctx context.Context, kind submissionKind, body []byte, hdr *collector.Pipeline, routeBody []byte, id string) (*collector.SubmitResponse, *member, int, error) {
+	span := trace.SpanFrom(ctx)
 	s.mu.Lock()
 	pinned := s.sticky[id]
 	s.mu.Unlock()
@@ -570,6 +611,7 @@ func (s *Supervisor) forward(ctx context.Context, kind submissionKind, body []by
 		// An earlier attempt of this ID died mid-response at pinned:
 		// only it may answer, or the shard could merge twice.
 		order = []*member{pinned}
+		span.Event("sticky.replay", trace.String("member", pinned.url))
 	}
 	var lastErr error
 	tried := make(map[*member]bool, len(order))
@@ -579,23 +621,34 @@ func (s *Supervisor) forward(ctx context.Context, kind submissionKind, body []by
 				continue
 			}
 			tried[m] = true
+			// Each routed attempt is its own child span, and the member
+			// call runs under it — so the traceparent the member joins
+			// names THIS attempt as the remote parent, and a member's
+			// /v1/traces entry nests under the exact hop that produced it.
+			attempt := span.Child("fleet.route.attempt")
+			attempt.SetAttr(trace.String("member", m.url))
+			actx := trace.ContextWithSpan(ctx, attempt)
 			var resp *collector.SubmitResponse
 			var err error
 			if kind == kindReport {
-				resp, err = m.client.SubmitReportStreamWithID(ctx, bytes.NewReader(body), id)
+				resp, err = m.client.SubmitReportStreamWithID(actx, bytes.NewReader(body), id)
 			} else {
-				resp, err = m.client.SubmitAggregateBlobWithID(ctx, body, hdr, id)
+				resp, err = m.client.SubmitAggregateBlobWithID(actx, body, hdr, id)
 			}
 			if err == nil {
+				attempt.End()
 				m.markHealthy()
 				return resp, m, 0, nil
 			}
+			attempt.Fail(err)
+			attempt.End()
 			if ctx.Err() != nil {
 				// The caller went away mid-attempt; that says nothing
 				// about the member's health. Its handler may still
 				// finish processing the in-flight body, so pin the ID
 				// to it — a retry of the same ID must route back here.
 				s.pinSticky(id, m)
+				span.Event("sticky.pin", trace.String("member", m.url), trace.String("reason", "request cancelled mid-attempt"))
 				return nil, m, http.StatusServiceUnavailable, &unknownStateError{
 					fmt.Errorf("request cancelled while member %s was processing; retry with the same submission ID", m.url)}
 			}
@@ -607,6 +660,7 @@ func (s *Supervisor) forward(ctx context.Context, kind submissionKind, body []by
 				// failing over would risk a double merge.
 				m.markUnhealthy(err)
 				s.pinSticky(id, m)
+				span.Event("sticky.pin", trace.String("member", m.url), trace.String("reason", "member reports unknown submission state"))
 				return nil, m, http.StatusServiceUnavailable, &unknownStateError{
 					fmt.Errorf("member %s reports this submission's state as unknown; retry with the same submission ID", m.url)}
 			case errors.As(err, &se) && (se.StatusCode == http.StatusBadRequest || se.StatusCode == http.StatusConflict):
@@ -629,10 +683,12 @@ func (s *Supervisor) forward(ctx context.Context, kind submissionKind, body []by
 				s.stats.Failovers++
 				s.mu.Unlock()
 				s.fleetFailovers.Inc()
+				span.Event("failover", trace.String("member", m.url), trace.String("error", err.Error()))
 				lastErr = err
 			default:
 				m.markUnhealthy(err)
 				s.pinSticky(id, m)
+				span.Event("sticky.pin", trace.String("member", m.url), trace.String("reason", "answer lost after send"))
 				return nil, m, http.StatusServiceUnavailable, &unknownStateError{
 					fmt.Errorf("member %s may hold this submission but its answer was lost (%v); retry with the same submission ID", m.url, err)}
 			}
@@ -673,6 +729,9 @@ func (s *Supervisor) replayedAck(r *http.Request) (collector.SubmitResponse, boo
 	if ok {
 		s.stats.Duplicates++
 		s.met.Submissions.With(collector.SubmissionDuplicate).Inc()
+		span := trace.SpanFrom(r.Context())
+		span.SetAttr(trace.String("submissionId", id))
+		span.Event("duplicate.replay", trace.String("originalTraceId", prev.TraceID))
 	}
 	return prev, ok
 }

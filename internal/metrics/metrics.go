@@ -22,6 +22,15 @@
 // ordering relationship to the scrape path: WriteTo takes the registry
 // lock and may call scrape funcs that take service locks, while service
 // code holding those locks only ever touches leaf atomics.
+//
+// OpenMetrics exemplars (attaching a trace ID to individual histogram
+// observations) are deliberately NOT implemented: exemplars record the
+// last-seen trace per bucket, which would make two scrapes of a
+// quiesced registry differ byte-for-byte and break the determinism
+// contract above. The metrics↔traces join runs the other way instead —
+// GET /v1/traces filters by duration/outcome, and the slow-request log
+// carries the trace ID alongside the latency that the histograms only
+// see in aggregate.
 package metrics
 
 import (

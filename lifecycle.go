@@ -2,6 +2,7 @@ package dpspatial
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"dpspatial/internal/collector"
@@ -9,6 +10,7 @@ import (
 	"dpspatial/internal/fleet"
 	"dpspatial/internal/fo"
 	"dpspatial/internal/grid"
+	"dpspatial/internal/trace"
 )
 
 // This file surfaces the three-stage report lifecycle — client,
@@ -263,6 +265,45 @@ func WithFleetAuthToken(token string) FleetOption {
 // the supervisor keeps accounting internally either way.
 func WithFleetMetrics(enabled bool) FleetOption {
 	return func(c *fleet.Config) { c.DisableMetrics = !enabled }
+}
+
+// WithFleetTracing gates the supervisor's in-memory request tracing and
+// its GET /v1/traces surface (enabled by default). Disabling removes
+// the endpoint and skips span recording entirely; requests then carry
+// no X-Dpspatial-Trace-Id response header from this tier, though
+// traceparent propagation to members still happens via the client.
+func WithFleetTracing(enabled bool) FleetOption {
+	return func(c *fleet.Config) { c.DisableTraces = !enabled }
+}
+
+// WithFleetTraceBuffer sets how many completed traces the supervisor
+// retains in memory for GET /v1/traces (0 or negative = the default
+// capacity). The buffer is a ring: new traces evict the oldest.
+func WithFleetTraceBuffer(capacity int) FleetOption {
+	return func(c *fleet.Config) { c.TraceCapacity = capacity }
+}
+
+// WithFleetSlowLog enables structured slow-request logging on the
+// supervisor: every request taking at least threshold emits one line to
+// stderr carrying the method, path, status, duration and trace ID — the
+// join key into GET /v1/traces. A zero threshold logs every request; a
+// negative threshold disables the log. jsonFormat selects one-line JSON
+// objects over the plain-text format.
+func WithFleetSlowLog(threshold time.Duration, jsonFormat bool) FleetOption {
+	return func(c *fleet.Config) {
+		if threshold < 0 {
+			c.SlowLog = nil
+			return
+		}
+		c.SlowLog = &trace.SlowLogger{W: os.Stderr, Threshold: threshold, JSON: jsonFormat}
+	}
+}
+
+// WithFleetPprof mounts net/http/pprof's profiling handlers under
+// /debug/pprof/ on the supervisor, behind the same bearer token as the
+// data endpoints (disabled by default).
+func WithFleetPprof(enabled bool) FleetOption {
+	return func(c *fleet.Config) { c.EnablePprof = enabled }
 }
 
 // NewFleetPipeline builds a supervisor fronting the collectors at

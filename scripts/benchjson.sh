@@ -1,0 +1,78 @@
+#!/usr/bin/env sh
+# benchjson.sh — convert `go test -bench` text output into the repo's
+# BENCH_*.json record shape, so CI runs land as importable records next
+# to the hand-written BENCH_pr*.json files (see ROADMAP: the CI bench
+# job is the multi-core measurement surface; commit-time records are
+# 1-core).
+#
+# Usage: scripts/benchjson.sh bench.txt [sha]
+#
+# Writes BENCH_ci_<sha>.json to the current directory and prints the
+# path. The env block (goos/goarch/pkg/cpu) comes from the bench.txt
+# header lines; gomaxprocs/numcpu come from BenchmarkRunnerInfo's
+# custom metrics, which record the parallelism the suite actually ran
+# with rather than what the runner advertises.
+#
+# POSIX sh + awk only: the CI image needs nothing beyond the Go
+# toolchain this repo already requires.
+set -eu
+
+in=${1:?usage: benchjson.sh bench.txt [sha]}
+sha=${2:-${GITHUB_SHA:-local}}
+short=$(printf '%s' "$sha" | cut -c1-12)
+out="BENCH_ci_${short}.json"
+date=$(date -u +%Y-%m-%d)
+
+awk -v sha="$sha" -v date="$date" '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+# Header lines: goos: linux / goarch: amd64 / pkg: dpspatial / cpu: ...
+/^goos: /   { goos = substr($0, 7); next }
+/^goarch: / { goarch = substr($0, 9); next }
+/^pkg: /    { pkg = substr($0, 6); next }
+/^cpu: /    { cpu = substr($0, 6); next }
+/^Benchmark/ {
+    # Name, iterations, then (value unit) pairs: ns/op first, custom
+    # metrics (ReportMetric) after. Strip the -<procs> suffix go test
+    # appends when GOMAXPROCS > 1 so names match the BENCH_pr records.
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    n++
+    names[n] = name
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        key = unit
+        if (unit == "ns/op") key = "ns_per_op"
+        gsub(/\//, "_per_", key)
+        if (line != "") line = line ",\n"
+        line = line sprintf("   \"%s\": %s", jesc(key), $i)
+        if (name == "BenchmarkRunnerInfo" && unit == "gomaxprocs") gomaxprocs = $i
+        if (name == "BenchmarkRunnerInfo" && unit == "numcpu")     numcpu = $i
+    }
+    metrics[n] = line
+    next
+}
+END {
+    if (n == 0) { print "benchjson: no Benchmark lines in input" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf " \"source\": \"ci\",\n"
+    printf " \"sha\": \"%s\",\n", jesc(sha)
+    printf " \"date\": \"%s\",\n", date
+    printf " \"benchtime\": \"1x\",\n"
+    printf " \"env\": {\n"
+    printf "  \"goos\": \"%s\",\n", jesc(goos)
+    printf "  \"goarch\": \"%s\",\n", jesc(goarch)
+    printf "  \"pkg\": \"%s\",\n", jesc(pkg)
+    printf "  \"cpu\": \"%s\",\n", jesc(cpu)
+    printf "  \"gomaxprocs\": %s,\n", (gomaxprocs != "" ? gomaxprocs : "null")
+    printf "  \"numcpu\": %s\n",     (numcpu != "" ? numcpu : "null")
+    printf " },\n"
+    printf " \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        printf "  \"%s\": {\n%s\n  }%s\n", jesc(names[i]), metrics[i], (i < n ? "," : "")
+    }
+    printf " }\n}\n"
+}
+' "$in" > "$out"
+
+echo "$out"
